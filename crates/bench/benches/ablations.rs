@@ -1,0 +1,78 @@
+//! Criterion benches for the ablation studies (DESIGN.md A1–A4 and the
+//! Figure-4 stability experiment), each at reduced run counts with the
+//! study's headline invariant asserted.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hbh_experiments::figures::{asymmetry, clouds, overhead, stability, timers};
+use hbh_experiments::protocols::ProtocolKind;
+use std::hint::black_box;
+
+fn stability_departures(c: &mut Criterion) {
+    c.bench_function("stability_departure_churn", |b| {
+        b.iter(|| {
+            let cfg = stability::StabilityConfig::default_with_runs(2);
+            let points = stability::evaluate(black_box(&cfg));
+            let hbh = cfg.protocols.iter().position(|&p| p == ProtocolKind::Hbh).unwrap();
+            assert_eq!(
+                points[hbh].route_changes.mean(),
+                0.0,
+                "HBH must never reroute survivors"
+            );
+            black_box(points)
+        })
+    });
+}
+
+fn asymmetry_sweep(c: &mut Criterion) {
+    c.bench_function("asymmetry_sweep", |b| {
+        b.iter(|| {
+            let mut cfg = asymmetry::AsymmetryConfig::default_with_runs(2);
+            cfg.steps = vec![0.0, 1.0];
+            black_box(asymmetry::evaluate_sweep(black_box(&cfg)))
+        })
+    });
+}
+
+fn unicast_clouds(c: &mut Criterion) {
+    c.bench_function("unicast_clouds_sweep", |b| {
+        b.iter(|| {
+            let mut cfg = clouds::CloudsConfig::default_with_runs(2);
+            cfg.fractions = vec![0.0, 0.5];
+            let pts = clouds::evaluate_sweep(black_box(&cfg));
+            for p in &pts {
+                for pp in &p.point.per_protocol {
+                    assert_eq!(pp.incomplete, 0, "lost receivers behind clouds");
+                }
+            }
+            black_box(pts)
+        })
+    });
+}
+
+fn timer_sensitivity(c: &mut Criterion) {
+    c.bench_function("timer_sensitivity", |b| {
+        b.iter(|| {
+            let mut cfg = timers::TimersConfig::default_with_runs(2);
+            cfg.scales = vec![1.0, 2.0];
+            black_box(timers::evaluate(black_box(&cfg)))
+        })
+    });
+}
+
+fn control_overhead(c: &mut Criterion) {
+    c.bench_function("control_overhead", |b| {
+        b.iter(|| {
+            let mut cfg = overhead::OverheadConfig::default_with_runs(2);
+            cfg.sizes = vec![4, 12];
+            black_box(overhead::evaluate(black_box(&cfg)))
+        })
+    });
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = stability_departures, asymmetry_sweep, unicast_clouds,
+              timer_sensitivity, control_overhead
+}
+criterion_main!(ablations);

@@ -1,0 +1,61 @@
+//! One Criterion bench per paper figure: each iteration regenerates the
+//! figure's data at a reduced run count (the statistical tables themselves
+//! come from the `fig7`/`fig8` binaries; these benches time the
+//! regeneration pipeline and pin its results with assertions, so `cargo
+//! bench` doubles as an end-to-end regression check of every figure).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hbh_experiments::figures::eval::{
+    evaluate, health_violations, hbh_advantage_over_reunite, EvalConfig, Metric,
+};
+use hbh_experiments::scenario::TopologyKind;
+use std::hint::black_box;
+
+/// Reduced-scale figure config: full group-size sweep, few runs per point.
+fn cfg(topo: TopologyKind, runs: usize) -> EvalConfig {
+    EvalConfig::paper(topo, runs)
+}
+
+fn bench_figure(
+    c: &mut Criterion,
+    name: &str,
+    topo: TopologyKind,
+    runs: usize,
+    metric: Metric,
+) {
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            let cfg = cfg(topo, runs);
+            let points = evaluate(black_box(&cfg));
+            assert!(health_violations(&cfg, &points).is_none(), "unhealthy run");
+            let adv = hbh_advantage_over_reunite(&cfg, &points, metric).unwrap();
+            // The qualitative result must hold at any sample size worth
+            // benchmarking: HBH does not lose to REUNITE on either metric.
+            assert!(adv > -2.0, "HBH lost to REUNITE by {adv}%");
+            black_box(points)
+        })
+    });
+}
+
+fn fig7_isp(c: &mut Criterion) {
+    bench_figure(c, "fig7_isp_tree_cost", TopologyKind::Isp, 3, Metric::Cost);
+}
+
+fn fig7_rand50(c: &mut Criterion) {
+    bench_figure(c, "fig7_rand50_tree_cost", TopologyKind::Rand50, 2, Metric::Cost);
+}
+
+fn fig8_isp(c: &mut Criterion) {
+    bench_figure(c, "fig8_isp_delay", TopologyKind::Isp, 3, Metric::Delay);
+}
+
+fn fig8_rand50(c: &mut Criterion) {
+    bench_figure(c, "fig8_rand50_delay", TopologyKind::Rand50, 2, Metric::Delay);
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = fig7_isp, fig7_rand50, fig8_isp, fig8_rand50
+}
+criterion_main!(figures);

@@ -1,0 +1,63 @@
+//! Microbenchmarks of the hot paths under every experiment: unicast
+//! routing computation, one full protocol converge-and-probe run per
+//! protocol, and the raw event kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hbh_experiments::protocols::{run_protocol, ProtocolKind};
+use hbh_experiments::scenario::{build, ScenarioOptions, TopologyKind};
+use hbh_proto_base::Timing;
+use hbh_topo::{costs, isp, random};
+use std::hint::black_box;
+
+fn routing_tables(c: &mut Criterion) {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+    let mut small = isp::isp_topology();
+    costs::assign_paper_costs(&mut small, &mut rng);
+    let mut large = random::rand50(&mut rng);
+    costs::assign_paper_costs(&mut large, &mut rng);
+
+    c.bench_function("routing_all_pairs_isp36", |b| {
+        b.iter(|| black_box(hbh_routing::RoutingTables::compute(black_box(&small))))
+    });
+    c.bench_function("routing_all_pairs_rand100", |b| {
+        b.iter(|| black_box(hbh_routing::RoutingTables::compute(black_box(&large))))
+    });
+}
+
+fn protocol_runs(c: &mut Criterion) {
+    let timing = Timing::default();
+    let sc = build(TopologyKind::Isp, 10, 5, &timing, &ScenarioOptions::default());
+    for kind in ProtocolKind::ALL {
+        c.bench_function(&format!("converge_and_probe_{}", kind.name()), |b| {
+            b.iter(|| {
+                let o = run_protocol(black_box(kind), black_box(&sc), &timing);
+                assert!(o.complete());
+                black_box(o)
+            })
+        });
+    }
+}
+
+fn scenario_build(c: &mut Criterion) {
+    let timing = Timing::default();
+    c.bench_function("scenario_build_isp", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(build(
+                TopologyKind::Isp,
+                10,
+                black_box(seed),
+                &timing,
+                &ScenarioOptions::default(),
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = routing_tables, protocol_runs, scenario_build
+}
+criterion_main!(micro);

@@ -1,0 +1,10 @@
+//! Benchmark host crate. The Criterion benches live in `benches/`:
+//!
+//! * `figures` — one bench per paper figure (7a, 7b, 8a, 8b at reduced
+//!   run counts; the full-scale tables come from the `fig7`/`fig8`
+//!   binaries of `hbh-experiments`);
+//! * `ablations` — stability, asymmetry sweep, unicast clouds, timers,
+//!   overhead;
+//! * `microbench` — the hot paths under everything: Dijkstra/all-pairs
+//!   routing, the event kernel, one full converge-and-probe run per
+//!   protocol.

@@ -1,0 +1,53 @@
+//! Diagnostic: converge REUNITE on one scenario, dump the table state and
+//! the data-plane trace (used while chasing duplicate-delivery bugs).
+
+use hbh_experiments::runner::{build_kernel, converge, probe_window};
+use hbh_experiments::scenario::{build, ScenarioOptions, TopologyKind};
+use hbh_proto_base::{Cmd, Timing};
+use hbh_reunite::Reunite;
+use hbh_sim_core::trace::TraceKind;
+use hbh_sim_core::PacketClass;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(11);
+    let group: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let timing = Timing::default();
+    let sc = build(TopologyKind::Isp, group, seed, &timing, &ScenarioOptions::default());
+    println!("source: {}  receivers: {:?}", sc.source, sc.receivers);
+
+    let (mut k, ch) = build_kernel(Reunite::new(timing), &sc);
+    let ok = converge(&mut k, &timing, sc.join_window);
+    println!("converged: {ok} at {}", k.now());
+    let now = k.now();
+    for node in k.network().graph().nodes() {
+        let st = k.state(node);
+        if let Some(mft) = st.mft(ch) {
+            let live: Vec<String> = mft.live(now).map(|n| n.to_string()).collect();
+            println!(
+                "{node}: MFT dst={} live={live:?} stale_flag={} dst_stale={}",
+                mft.dst(),
+                mft.is_stale_flagged(),
+                mft.dst_is_stale(now)
+            );
+        } else if let Some(mct) = st.mct(ch) {
+            let live: Vec<String> = mct.live(now).map(|n| n.to_string()).collect();
+            println!("{node}: MCT {live:?}");
+        }
+    }
+    k.enable_trace();
+    let t = k.now();
+    k.command_at(sc.source, Cmd::SendData { ch, tag: 1 }, t);
+    k.run_until(t + probe_window(k.network()));
+    for rec in k.take_trace() {
+        match &rec.what {
+            TraceKind::Sent { to, pkt } if pkt.class == PacketClass::Data => {
+                println!("[{}] {} --data--> {} (dst {})", rec.at, rec.node, to, pkt.dst);
+            }
+            TraceKind::Delivered { tag } => {
+                println!("[{}] {} DELIVER tag={tag}", rec.at, rec.node);
+            }
+            _ => {}
+        }
+    }
+}

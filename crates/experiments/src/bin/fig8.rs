@@ -1,0 +1,37 @@
+//! Figure 8 — average receiver delay vs. number of receivers.
+//!
+//! ```text
+//! cargo run --release -p hbh-experiments --bin fig8 -- --topo isp    --runs 500
+//! cargo run --release -p hbh-experiments --bin fig8 -- --topo rand50 --runs 500
+//! ```
+//!
+//! Prints the table behind Figure 8(a)/(b), a gnuplot-ready data block,
+//! and the §4.2.2 summary (HBH's average delay advantage over REUNITE).
+
+use hbh_experiments::figures::eval::{
+    evaluate, health_violations, hbh_advantage_over_reunite, render, EvalConfig, Metric,
+};
+use hbh_experiments::report::Args;
+use hbh_experiments::scenario::TopologyKind;
+
+fn main() {
+    let args = Args::parse(&["topo", "runs", "seed"]);
+    let topo = TopologyKind::parse(args.get("topo").unwrap_or("isp"))
+        .expect("--topo must be isp or rand50");
+    let runs: usize = args.get_parse("runs", 500);
+    let mut cfg = EvalConfig::paper(topo, runs);
+    cfg.base_seed = args.get_parse("seed", 1);
+
+    let points = evaluate(&cfg);
+    let table = render(&cfg, &points, Metric::Delay);
+    println!("{}", table.render());
+    println!("{}", table.render_dat());
+    if let Some(adv) = hbh_advantage_over_reunite(&cfg, &points, Metric::Delay) {
+        println!("# HBH delay advantage over REUNITE, averaged over group sizes: {adv:.1}%");
+        println!("# (paper, §4.2.2: ≈14% on the ISP topology, ≈30% on the 50-node topology)");
+    }
+    if let Some(v) = health_violations(&cfg, &points) {
+        eprintln!("WARNING: {v}");
+        std::process::exit(1);
+    }
+}

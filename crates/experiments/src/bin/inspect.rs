@@ -1,0 +1,67 @@
+//! Diagnostic tool: converge one protocol on one scenario, dump the
+//! per-node forwarding state and the data-plane trace of a probe.
+//!
+//! ```text
+//! cargo run -p hbh-experiments --bin inspect -- --topo isp --group 6 --seed 3
+//! ```
+
+use hbh_experiments::report::Args;
+use hbh_experiments::runner::{build_kernel, converge, probe_window};
+use hbh_experiments::scenario::{build, ScenarioOptions, TopologyKind};
+use hbh_proto::Hbh;
+use hbh_proto_base::{Channel, Cmd, Timing};
+use hbh_sim_core::trace::TraceKind;
+use hbh_sim_core::PacketClass;
+
+fn main() {
+    let args = Args::parse(&["topo", "group", "seed"]);
+    let topo = TopologyKind::parse(args.get("topo").unwrap_or("isp")).expect("bad topo");
+    let group: usize = args.get_parse("group", 6);
+    let seed: u64 = args.get_parse("seed", 3);
+    let timing = Timing::default();
+    let sc = build(topo, group, seed, &timing, &ScenarioOptions::default());
+    println!("source: {}  receivers: {:?}", sc.source, sc.receivers);
+
+    let (mut k, ch) = build_kernel(Hbh::new(timing), &sc);
+    let ok = converge(&mut k, &timing, sc.join_window);
+    println!("converged: {ok} at {} (changes: {})", k.now(), k.stats().structural_changes);
+
+    let now = k.now();
+    for node in k.network().graph().nodes() {
+        let st = k.state(node);
+        if let Some(mft) = st.mft(ch) {
+            let data: Vec<_> = mft.data_targets(now).collect();
+            let tree: Vec<_> = mft.tree_targets(now).collect();
+            let live: Vec<String> = mft
+                .live(now)
+                .map(|n| {
+                    format!(
+                        "{n}{}{}",
+                        if mft.is_marked(n, now) { "[m]" } else { "" },
+                        if mft.is_stale(n, now) { "[s]" } else { "" }
+                    )
+                })
+                .collect();
+            println!("{node}: MFT live={live:?} data->{data:?} tree->{tree:?}");
+        } else if let Some(mct) = st.mct(ch) {
+            println!("{node}: MCT {} ({:?})", mct.node(), mct.phase(now));
+        }
+    }
+
+    k.enable_trace();
+    let t = k.now();
+    k.command_at(sc.source, Cmd::SendData { ch, tag: 1 }, t);
+    k.run_until(t + probe_window(k.network()));
+    for rec in k.take_trace() {
+        match &rec.what {
+            TraceKind::Sent { to, pkt } if pkt.class == PacketClass::Data => {
+                println!("[{}] {} --data--> {} (dst {})", rec.at, rec.node, to, pkt.dst);
+            }
+            TraceKind::Delivered { tag } => {
+                println!("[{}] {} DELIVER tag={tag}", rec.at, rec.node);
+            }
+            _ => {}
+        }
+    }
+    let _ = Channel::primary(sc.source);
+}

@@ -1,0 +1,28 @@
+//! Figure 4 quantified — tree reconfiguration after a member departure.
+//!
+//! ```text
+//! cargo run --release -p hbh-experiments --bin stability -- --runs 100 --group 8
+//! ```
+//!
+//! Reports, per protocol: the structural state churn caused by one
+//! departure, and how many *surviving* receivers had their route changed
+//! (HBH's design goal is zero — §3; REUNITE's Figure-2 reconfiguration
+//! makes it nonzero).
+
+use hbh_experiments::figures::stability::{evaluate, render, StabilityConfig};
+use hbh_experiments::report::Args;
+use hbh_experiments::scenario::TopologyKind;
+
+fn main() {
+    let args = Args::parse(&["runs", "group", "topo", "seed"]);
+    let mut cfg = StabilityConfig::default_with_runs(args.get_parse("runs", 100));
+    cfg.group_size = args.get_parse("group", 8);
+    cfg.base_seed = args.get_parse("seed", 1);
+    if let Some(t) = args.get("topo") {
+        cfg.topo = TopologyKind::parse(t).expect("--topo must be isp or rand50");
+    }
+    let points = evaluate(&cfg);
+    let table = render(&cfg, &points);
+    println!("{}", table.render());
+    println!("{}", table.render_dat());
+}

@@ -1,0 +1,27 @@
+//! State-footprint experiment — REUNITE's founding observation, measured.
+//!
+//! ```text
+//! cargo run --release -p hbh-experiments --bin state_size -- --runs 50
+//! ```
+//!
+//! For each protocol: how many routers must hold data-plane forwarding
+//! state for the converged tree, and how many entries that is. PIM needs
+//! state at every on-tree router; HBH/REUNITE concentrate it at branching
+//! nodes and keep only cheap control-plane state elsewhere.
+
+use hbh_experiments::figures::state_size::{evaluate, render, StateSizeConfig};
+use hbh_experiments::report::Args;
+use hbh_experiments::scenario::TopologyKind;
+
+fn main() {
+    let args = Args::parse(&["runs", "topo", "seed"]);
+    let mut cfg = StateSizeConfig::default_with_runs(args.get_parse("runs", 50));
+    cfg.base_seed = args.get_parse("seed", 1);
+    if let Some(t) = args.get("topo") {
+        cfg.topo = TopologyKind::parse(t).expect("--topo must be isp or rand50");
+    }
+    let rows = evaluate(&cfg);
+    let table = render(&cfg, &rows);
+    println!("{}", table.render());
+    println!("{}", table.render_dat());
+}

@@ -1,0 +1,148 @@
+//! Data-path reconstruction from kernel traces.
+//!
+//! The kernel records every link transit of a tagged probe; this module
+//! rebuilds the exact node sequence each receiver's copy travelled. That
+//! is a stronger instrument than comparing delays: two different paths
+//! can coincidentally have equal cost, but the stability experiment's
+//! "did anyone's *route* change?" question needs path identity.
+
+use hbh_proto_base::Cmd;
+use hbh_sim_core::trace::TraceKind;
+use hbh_sim_core::{Kernel, PacketClass, Protocol, Time};
+use hbh_topo::graph::NodeId;
+use std::collections::BTreeMap;
+
+/// The data-plane transits of one probe, as a link multiset.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DataTransits {
+    /// `(from, to) → copies` for the probe.
+    pub links: BTreeMap<(NodeId, NodeId), u64>,
+    /// Delivery times per receiver.
+    pub delivered: BTreeMap<NodeId, Time>,
+}
+
+impl DataTransits {
+    /// Collects the transits of probe `tag` from a drained trace.
+    pub fn from_trace<M: Clone + std::fmt::Debug>(
+        trace: &[hbh_sim_core::trace::TraceRecord<M>],
+        tag: u64,
+    ) -> Self
+    where
+        M: Clone,
+    {
+        let mut out = DataTransits::default();
+        for rec in trace {
+            match &rec.what {
+                TraceKind::Sent { to, pkt }
+                    if pkt.class == PacketClass::Data && pkt.tag == tag =>
+                {
+                    *out.links.entry((rec.node, *to)).or_insert(0) += 1;
+                }
+                TraceKind::Delivered { tag: t } if *t == tag => {
+                    out.delivered.insert(rec.node, rec.at);
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Reconstructs the node path to `receiver` by walking the link
+    /// multiset backward from the receiver (each node on a delivery path
+    /// has exactly one incoming probe link in a duplicate-free tree;
+    /// when duplicates exist the lexicographically smallest predecessor is
+    /// taken, keeping the result deterministic).
+    pub fn path_to(&self, receiver: NodeId) -> Option<Vec<NodeId>> {
+        self.delivered.get(&receiver)?;
+        let mut path = vec![receiver];
+        let mut cur = receiver;
+        loop {
+            let mut preds = self
+                .links
+                .keys()
+                .filter(|&&(_, to)| to == cur)
+                .map(|&(from, _)| from);
+            let Some(prev) = preds.next() else {
+                break; // reached the source (no incoming probe link)
+            };
+            if path.contains(&prev) {
+                break; // defensive: malformed multiset, avoid looping
+            }
+            path.push(prev);
+            cur = prev;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Total copies (= the tree-cost metric, cross-checkable against the
+    /// kernel's own accounting).
+    pub fn total_copies(&self) -> u64 {
+        self.links.values().sum()
+    }
+}
+
+/// Convenience: probe a converged kernel with tracing and return the
+/// reconstructed transits. The kernel's trace buffer is drained.
+pub fn traced_probe<P: Protocol<Command = Cmd>>(
+    k: &mut Kernel<P>,
+    ch: hbh_proto_base::Channel,
+    tag: u64,
+) -> DataTransits {
+    k.enable_trace();
+    let _ = k.take_trace();
+    let t = k.now();
+    k.command_at(ch.source, Cmd::SendData { ch, tag }, t);
+    let window = crate::runner::probe_window(k.network());
+    k.run_until(t + window);
+    let trace = k.take_trace();
+    DataTransits::from_trace(&trace, tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{build_kernel, converge};
+    use crate::scenario::{build, ScenarioOptions, TopologyKind};
+    use hbh_proto::Hbh;
+    use hbh_proto_base::Timing;
+    use hbh_routing::RoutingTables;
+
+    fn transits(seed: u64) -> (DataTransits, crate::scenario::Scenario) {
+        let timing = Timing::default();
+        let sc = build(TopologyKind::Isp, 6, seed, &timing, &ScenarioOptions::default());
+        let (mut k, ch) = build_kernel(Hbh::new(timing), &sc);
+        converge(&mut k, &timing, sc.join_window);
+        (traced_probe(&mut k, ch, 1), sc)
+    }
+
+    #[test]
+    fn reconstructed_paths_are_exactly_the_unicast_shortest_paths() {
+        let (tr, sc) = transits(3);
+        let tables = RoutingTables::compute(&sc.graph);
+        for &r in &sc.receivers {
+            let path = tr.path_to(r).expect("receiver served");
+            assert_eq!(
+                Some(path),
+                tables.path(sc.source, r),
+                "HBH data path to {r} differs from the unicast SPT path"
+            );
+        }
+    }
+
+    #[test]
+    fn total_copies_matches_kernel_accounting() {
+        let timing = Timing::default();
+        let sc = build(TopologyKind::Isp, 8, 5, &timing, &ScenarioOptions::default());
+        let (mut k, ch) = build_kernel(Hbh::new(timing), &sc);
+        converge(&mut k, &timing, sc.join_window);
+        let tr = traced_probe(&mut k, ch, 7);
+        assert_eq!(tr.total_copies(), k.stats().data_copies_tagged(7));
+    }
+
+    #[test]
+    fn unserved_receiver_has_no_path() {
+        let (tr, _) = transits(4);
+        assert_eq!(tr.path_to(hbh_topo::graph::NodeId(0)), None, "router never delivers");
+    }
+}

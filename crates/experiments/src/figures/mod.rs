@@ -1,0 +1,12 @@
+//! One module per paper artifact / ablation. See the crate docs for the
+//! artifact ↔ module ↔ binary map.
+
+pub mod asymmetry;
+pub mod clouds;
+pub mod eval;
+pub mod groups;
+pub mod overhead;
+pub mod qos;
+pub mod stability;
+pub mod state_size;
+pub mod timers;

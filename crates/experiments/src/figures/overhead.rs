@@ -1,0 +1,132 @@
+//! Ablation A4/extension — control-plane overhead.
+//!
+//! The paper's metrics are data-plane only; a deployment also cares about
+//! the refresh traffic each protocol sustains. This study measures
+//! steady-state control transmissions per refresh period, per protocol,
+//! as the group grows: joins (all), trees (recursive unicast), fusions
+//! (HBH only). HBH is expected to pay more control than REUNITE (its
+//! fusion machinery keeps running under asymmetry — §3.1), which frames
+//! the paper's data-plane gains as a control-plane trade.
+
+use crate::protocols::{dispatch, ProtocolKind, Study};
+use crate::report::Table;
+use crate::runner::converge;
+use crate::scenario::{build, Scenario, ScenarioOptions, TopologyKind};
+use crate::stats::Summary;
+use hbh_proto_base::{Channel, Cmd, Timing};
+use hbh_sim_core::{Kernel, Protocol};
+
+struct OverheadStudy;
+
+impl Study for OverheadStudy {
+    /// Control transmissions per tree period in steady state.
+    type Out = f64;
+
+    fn run<P: Protocol<Command = Cmd>>(
+        &self,
+        mut k: Kernel<P>,
+        _ch: Channel,
+        scenario: &Scenario,
+        timing: &Timing,
+    ) -> f64 {
+        converge(&mut k, timing, scenario.join_window);
+        let c0 = k.stats().control_copies();
+        let t0 = k.now();
+        let periods = 20;
+        k.run_until(t0 + periods * timing.tree_period);
+        (k.stats().control_copies() - c0) as f64 / periods as f64
+    }
+}
+
+pub struct OverheadConfig {
+    pub topo: TopologyKind,
+    pub sizes: Vec<usize>,
+    pub runs: usize,
+    pub base_seed: u64,
+    pub timing: Timing,
+    pub protocols: Vec<ProtocolKind>,
+}
+
+impl OverheadConfig {
+    pub fn default_with_runs(runs: usize) -> Self {
+        OverheadConfig {
+            topo: TopologyKind::Isp,
+            sizes: vec![2, 8, 16],
+            runs,
+            base_seed: 1,
+            timing: Timing::default(),
+            protocols: ProtocolKind::ALL.to_vec(),
+        }
+    }
+}
+
+pub fn evaluate(cfg: &OverheadConfig) -> Vec<(usize, Vec<Summary>)> {
+    cfg.sizes
+        .iter()
+        .map(|&m| {
+            let mut acc = vec![Summary::default(); cfg.protocols.len()];
+            for run in 0..cfg.runs {
+                let sc = build(
+                    cfg.topo,
+                    m,
+                    cfg.base_seed ^ (m as u64) << 24 ^ run as u64,
+                    &cfg.timing,
+                    &ScenarioOptions::default(),
+                );
+                for (i, &kind) in cfg.protocols.iter().enumerate() {
+                    acc[i].add(dispatch(kind, &sc, &cfg.timing, &OverheadStudy));
+                }
+            }
+            (m, acc)
+        })
+        .collect()
+}
+
+pub fn render(cfg: &OverheadConfig, rows: &[(usize, Vec<Summary>)]) -> Table {
+    let names: Vec<&str> = cfg.protocols.iter().map(|p| p.name()).collect();
+    let mut t = Table::new(
+        format!(
+            "Control transmissions per refresh period — {} topology, {} runs/point",
+            cfg.topo.name(),
+            cfg.runs
+        ),
+        "receivers",
+        &names,
+    );
+    for (m, points) in rows {
+        t.row(
+            m.to_string(),
+            points.iter().map(|s| Table::cell(s.mean(), s.ci95())).collect(),
+        );
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_grows_with_group_size() {
+        let cfg = OverheadConfig {
+            sizes: vec![2, 12],
+            runs: 3,
+            protocols: vec![ProtocolKind::Hbh],
+            ..OverheadConfig::default_with_runs(3)
+        };
+        let rows = evaluate(&cfg);
+        assert!(
+            rows[1].1[0].mean() > rows[0].1[0].mean(),
+            "more receivers must mean more refresh traffic"
+        );
+    }
+
+    #[test]
+    fn every_protocol_has_nonzero_steady_state_overhead() {
+        let cfg = OverheadConfig { sizes: vec![6], runs: 2, ..OverheadConfig::default_with_runs(2) };
+        let rows = evaluate(&cfg);
+        for (i, s) in rows[0].1.iter().enumerate() {
+            assert!(s.mean() > 0.0, "{} shows no refresh traffic", cfg.protocols[i].name());
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! The four protocols under evaluation, behind one dispatch point.
+
+use crate::runner::{run_probe, ProbeOutcome};
+use crate::scenario::Scenario;
+use hbh_pim::Pim;
+use hbh_proto::Hbh;
+use hbh_proto_base::Timing;
+use hbh_reunite::Reunite;
+use hbh_topo::graph::NodeId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A protocol under test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolKind {
+    /// PIM-SM: shared tree centred on a per-run random RP.
+    PimSm,
+    /// PIM-SS: source-specific reverse SPT.
+    PimSs,
+    /// REUNITE recursive unicast.
+    Reunite,
+    /// HBH (the paper's contribution).
+    Hbh,
+}
+
+impl ProtocolKind {
+    /// All four, in the paper's legend order.
+    pub const ALL: [ProtocolKind; 4] =
+        [ProtocolKind::PimSm, ProtocolKind::PimSs, ProtocolKind::Reunite, ProtocolKind::Hbh];
+
+    /// The recursive-unicast pair (protocols that tolerate unicast-only
+    /// routers — the clouds ablation runs only these).
+    pub const RECURSIVE_UNICAST: [ProtocolKind; 2] =
+        [ProtocolKind::Reunite, ProtocolKind::Hbh];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::PimSm => "PIM-SM",
+            ProtocolKind::PimSs => "PIM-SS",
+            ProtocolKind::Reunite => "REUNITE",
+            ProtocolKind::Hbh => "HBH",
+        }
+    }
+}
+
+/// How the PIM-SM rendez-vous point is placed.
+///
+/// NS's centralized multicast uses an operator-configured RP; the paper
+/// does not say which node it was. [`RpPolicy::Central`] models a
+/// competently placed RP (the router minimizing the total distance to all
+/// hosts, recomputed per cost draw) and is the default because it
+/// reproduces the paper's Figure 8(a) observation that the shared tree
+/// can *beat* the source reverse-SPT on delay: the delay-optimal S→RP leg
+/// then covers most of every path. [`RpPolicy::Random`] draws the RP
+/// uniformly per run, which averages out placement effects and makes
+/// PIM-SM strictly worse.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum RpPolicy {
+    #[default]
+    Central,
+    Random,
+    Fixed(NodeId),
+}
+
+/// Picks the PIM-SM rendez-vous point for a scenario under `policy`.
+pub fn pick_rp_with(scenario: &Scenario, policy: RpPolicy) -> NodeId {
+    let routers: Vec<NodeId> = scenario
+        .graph
+        .routers()
+        .filter(|&r| scenario.graph.is_mcast_capable(r))
+        .collect();
+    match policy {
+        RpPolicy::Fixed(rp) => {
+            assert!(routers.contains(&rp), "fixed RP must be a capable router");
+            rp
+        }
+        RpPolicy::Random => {
+            let mut rng = StdRng::seed_from_u64(scenario.seed ^ 0x52_50); // "RP"
+            routers[rng.random_range(0..routers.len())]
+        }
+        RpPolicy::Central => {
+            // A competently administered RP serves many groups, so it is
+            // placed at the network's cost-center: the router minimizing
+            // the total distance to all hosts. (A per-channel delay-optimal
+            // search degenerates to the source's own access router, making
+            // PIM-SM ≡ PIM-SS — provably, since every reverse path to a
+            // single-homed source decomposes through that router.)
+            let tables = hbh_routing::RoutingTables::compute(&scenario.graph);
+            let hosts: Vec<NodeId> = scenario.graph.hosts().collect();
+            routers
+                .iter()
+                .copied()
+                .min_by_key(|&r| {
+                    hosts
+                        .iter()
+                        .map(|&h| tables.dist(r, h).unwrap_or(u64::MAX / 1024))
+                        .sum::<u64>()
+                })
+                .expect("at least one capable router")
+        }
+    }
+}
+
+/// [`pick_rp_with`] under the default policy.
+pub fn pick_rp(scenario: &Scenario) -> NodeId {
+    pick_rp_with(scenario, RpPolicy::default())
+}
+
+/// A scripted experiment generic over the protocol: implement `run` once,
+/// then [`dispatch`] it to any [`ProtocolKind`]. (A trait rather than a
+/// closure because the method is generic over the protocol type.)
+pub trait Study {
+    type Out;
+    fn run<P>(
+        &self,
+        kernel: hbh_sim_core::Kernel<P>,
+        ch: hbh_proto_base::Channel,
+        scenario: &Scenario,
+        timing: &Timing,
+    ) -> Self::Out
+    where
+        P: hbh_sim_core::Protocol<Command = hbh_proto_base::Cmd>,
+        P::NodeState: hbh_proto_base::StateInventory;
+}
+
+/// Builds the kernel for `kind` on `scenario` and hands it to the study.
+pub fn dispatch<S: Study>(
+    kind: ProtocolKind,
+    scenario: &Scenario,
+    timing: &Timing,
+    study: &S,
+) -> S::Out {
+    use crate::runner::build_kernel;
+    match kind {
+        ProtocolKind::Hbh => {
+            let (k, ch) = build_kernel(Hbh::new(*timing), scenario);
+            study.run(k, ch, scenario, timing)
+        }
+        ProtocolKind::Reunite => {
+            let (k, ch) = build_kernel(Reunite::new(*timing), scenario);
+            study.run(k, ch, scenario, timing)
+        }
+        ProtocolKind::PimSs => {
+            let (k, ch) = build_kernel(Pim::source_specific(*timing), scenario);
+            study.run(k, ch, scenario, timing)
+        }
+        ProtocolKind::PimSm => {
+            let (k, ch) =
+                build_kernel(Pim::sparse_shared(pick_rp(scenario), *timing), scenario);
+            study.run(k, ch, scenario, timing)
+        }
+    }
+}
+
+/// Runs the standard converge-then-probe experiment for one protocol.
+pub fn run_protocol(
+    kind: ProtocolKind,
+    scenario: &Scenario,
+    timing: &Timing,
+) -> ProbeOutcome {
+    match kind {
+        ProtocolKind::Hbh => run_probe(Hbh::new(*timing), scenario, timing),
+        ProtocolKind::Reunite => run_probe(Reunite::new(*timing), scenario, timing),
+        ProtocolKind::PimSs => run_probe(Pim::source_specific(*timing), scenario, timing),
+        ProtocolKind::PimSm => {
+            run_probe(Pim::sparse_shared(pick_rp(scenario), *timing), scenario, timing)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{build, ScenarioOptions, TopologyKind};
+
+    fn scenario(seed: u64) -> (Scenario, Timing) {
+        let timing = Timing::default();
+        let sc = build(TopologyKind::Isp, 6, seed, &timing, &ScenarioOptions::default());
+        (sc, timing)
+    }
+
+    #[test]
+    fn all_protocols_serve_all_receivers_on_isp() {
+        let (sc, timing) = scenario(11);
+        for kind in ProtocolKind::ALL {
+            let o = run_protocol(kind, &sc, &timing);
+            assert!(o.converged, "{} failed to converge", kind.name());
+            assert!(
+                o.complete(),
+                "{}: served {}/{}",
+                kind.name(),
+                o.delays.len(),
+                o.expected
+            );
+        }
+    }
+
+    #[test]
+    fn pim_ss_delay_is_reverse_path_distance() {
+        // Cross-validation against the analytic reverse SPT.
+        let (sc, timing) = scenario(12);
+        let o = run_protocol(ProtocolKind::PimSs, &sc, &timing);
+        let tables = hbh_routing::RoutingTables::compute(&sc.graph);
+        let tree = hbh_routing::paths::reverse_spt(&tables, sc.source, &sc.receivers);
+        for (&r, &measured) in &o.delays {
+            assert_eq!(
+                Some(measured),
+                tree.delay_to(&sc.graph, r),
+                "receiver {r} delay mismatch vs analytic reverse SPT"
+            );
+        }
+        assert_eq!(o.cost as usize, tree.cost(), "cost = links of the reverse SPT");
+    }
+
+    #[test]
+    fn hbh_delay_is_forward_shortest_path() {
+        let (sc, timing) = scenario(13);
+        let o = run_protocol(ProtocolKind::Hbh, &sc, &timing);
+        let tables = hbh_routing::RoutingTables::compute(&sc.graph);
+        for (&r, &measured) in &o.delays {
+            assert_eq!(
+                Some(u64::from(measured)),
+                tables.dist(sc.source, r),
+                "receiver {r} not served on its shortest path"
+            );
+        }
+    }
+
+    #[test]
+    fn rp_is_deterministic_per_scenario_and_capable() {
+        let (sc, _) = scenario(14);
+        let rp = pick_rp(&sc);
+        assert_eq!(rp, pick_rp(&sc));
+        assert!(sc.graph.is_router(rp) && sc.graph.is_mcast_capable(rp));
+    }
+}

@@ -1,0 +1,181 @@
+//! Generic experiment runner: build a kernel, converge (verified), inject
+//! a tagged probe, read the paper's metrics off the accounting.
+
+use crate::scenario::Scenario;
+use hbh_proto_base::{Channel, Cmd, Timing};
+use hbh_sim_core::{Kernel, Network, Protocol, Time};
+use hbh_topo::graph::NodeId;
+use std::collections::BTreeMap;
+
+/// Result of one converged probe.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProbeOutcome {
+    /// Tree cost: data copies transmitted across links for one packet.
+    pub cost: u64,
+    /// Bandwidth consumption: each copy weighted by its link's cost (the
+    /// abstract's "bandwidth consumption of the multicast trees"; see
+    /// EXPERIMENTS.md for how this relates to the paper's Figure 7 axis).
+    pub weighted_cost: u64,
+    /// Per-receiver delay (time units).
+    pub delays: BTreeMap<NodeId, u64>,
+    /// Receivers that should have been served.
+    pub expected: usize,
+    /// `true` if structural changes quiesced before the probe.
+    pub converged: bool,
+    /// Structural changes observed since kernel start (stability metric).
+    pub structural_changes: u64,
+    /// Control-plane link transmissions since kernel start.
+    pub control_copies: u64,
+    /// Kernel drops (should be 0 in steady state).
+    pub drops: u64,
+}
+
+impl ProbeOutcome {
+    /// Did every expected receiver get exactly one copy?
+    pub fn complete(&self) -> bool {
+        self.delays.len() == self.expected
+    }
+
+    /// Mean receiver delay (the Figure 8 metric).
+    pub fn avg_delay(&self) -> f64 {
+        if self.delays.is_empty() {
+            return 0.0;
+        }
+        self.delays.values().sum::<u64>() as f64 / self.delays.len() as f64
+    }
+}
+
+/// Builds a kernel for `scenario`, wiring the source and all joins.
+pub fn build_kernel<P: Protocol<Command = Cmd>>(
+    proto: P,
+    scenario: &Scenario,
+) -> (Kernel<P>, Channel) {
+    let net = Network::new(scenario.graph.clone());
+    let mut k = Kernel::new(net, proto, scenario.seed);
+    let ch = Channel::primary(scenario.source);
+    k.command_at(scenario.source, Cmd::StartSource(ch), Time::ZERO);
+    for &(r, t) in &scenario.join_times {
+        k.command_at(r, Cmd::Join(ch), t);
+    }
+    (k, ch)
+}
+
+/// Runs to the convergence horizon, then extends in `2·t2` windows until
+/// structural changes quiesce (bounded retries). Returns `true` if
+/// quiescence was reached.
+pub fn converge<P: Protocol<Command = Cmd>>(
+    k: &mut Kernel<P>,
+    timing: &Timing,
+    join_window: u64,
+) -> bool {
+    k.run_until(Time(timing.convergence_horizon(join_window)));
+    for _ in 0..8 {
+        let before = k.stats().structural_changes;
+        let until = k.now() + 2 * timing.t2;
+        k.run_until(until);
+        if k.stats().structural_changes == before {
+            return true;
+        }
+    }
+    false
+}
+
+/// How long to let a probe propagate: generous upper bound on any
+/// recursive-unicast delivery path (every node visited once, max cost 10),
+/// plus slack.
+pub fn probe_window(net: &Network) -> u64 {
+    net.node_count() as u64 * 20 + 200
+}
+
+/// Injects a tagged data packet and collects deliveries attributed to it.
+pub fn probe<P: Protocol<Command = Cmd>>(
+    k: &mut Kernel<P>,
+    ch: Channel,
+    tag: u64,
+    expected: usize,
+) -> (u64, BTreeMap<NodeId, u64>) {
+    let at = k.now();
+    k.command_at(ch.source, Cmd::SendData { ch, tag }, at);
+    let window = probe_window(k.network());
+    k.run_until(at + window);
+    let cost = k.stats().data_copies_tagged(tag);
+    let mut delays = BTreeMap::new();
+    for d in k.stats().deliveries_tagged(tag) {
+        let prev = delays.insert(d.node, d.delay());
+        assert!(prev.is_none(), "duplicate delivery at {} (tag {tag})", d.node);
+    }
+    debug_assert!(delays.len() <= expected);
+    (cost, delays)
+}
+
+/// The standard experiment: converge then probe once.
+pub fn run_probe<P: Protocol<Command = Cmd>>(
+    proto: P,
+    scenario: &Scenario,
+    timing: &Timing,
+) -> ProbeOutcome {
+    let (mut k, ch) = build_kernel(proto, scenario);
+    let converged = converge(&mut k, timing, scenario.join_window);
+    let control_copies = k.stats().control_copies();
+    let structural_changes = k.stats().structural_changes;
+    let (cost, delays) = probe(&mut k, ch, 1, scenario.receivers.len());
+    let weighted_cost: u64 = k
+        .stats()
+        .data_copies_per_link(1)
+        .iter()
+        .map(|(&(f, t), &copies)| {
+            copies * u64::from(k.network().graph().cost(f, t).expect("counted link exists"))
+        })
+        .sum();
+    ProbeOutcome {
+        cost,
+        weighted_cost,
+        delays,
+        expected: scenario.receivers.len(),
+        converged,
+        structural_changes,
+        control_copies,
+        drops: k.stats().drops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{build, ScenarioOptions, TopologyKind};
+    use hbh_proto::Hbh;
+
+    fn outcome(seed: u64) -> ProbeOutcome {
+        let timing = Timing::default();
+        let sc = build(TopologyKind::Isp, 6, seed, &timing, &ScenarioOptions::default());
+        run_probe(Hbh::new(timing), &sc, &timing)
+    }
+
+    #[test]
+    fn hbh_probe_on_isp_is_complete_and_converged() {
+        let o = outcome(3);
+        assert!(o.converged);
+        assert!(o.complete(), "served {}/{}", o.delays.len(), o.expected);
+        assert!(o.cost > 0);
+        assert_eq!(o.drops, 0);
+    }
+
+    #[test]
+    fn probe_is_deterministic() {
+        assert_eq!(outcome(4), outcome(4));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (a, b) = (outcome(1), outcome(2));
+        assert!(a.cost != b.cost || a.delays != b.delays);
+    }
+
+    #[test]
+    fn avg_delay_reflects_receivers() {
+        let o = outcome(5);
+        let lo = *o.delays.values().min().unwrap() as f64;
+        let hi = *o.delays.values().max().unwrap() as f64;
+        assert!(o.avg_delay() >= lo && o.avg_delay() <= hi);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests of the MFT's flag algebra: arbitrary operation
+//! sequences must preserve the invariants the engine relies on.
+
+use crate::tables::HbhMft;
+use hbh_proto_base::Timing;
+use hbh_sim_core::Time;
+use hbh_topo::graph::NodeId;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Refresh(u8),
+    Mark(u8),
+    Fusion { bp: u8, covers: Vec<u8> },
+    Reap,
+    Advance(u16),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..8).prop_map(Op::Refresh),
+        (0u8..8).prop_map(Op::Mark),
+        ((0u8..8), proptest::collection::vec(0u8..8, 0..4))
+            .prop_map(|(bp, covers)| Op::Fusion { bp, covers }),
+        Just(Op::Reap),
+        (1u16..400).prop_map(Op::Advance),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn mft_invariants_under_arbitrary_ops(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        let timing = Timing::default();
+        let mut mft = HbhMft::default();
+        let mut now = Time::ZERO;
+        for op in ops {
+            match op {
+                Op::Refresh(n) => {
+                    mft.refresh_or_insert(NodeId(n.into()), now, &timing);
+                }
+                Op::Mark(n) => {
+                    mft.mark(NodeId(n.into()), now);
+                }
+                Op::Fusion { bp, covers } => {
+                    let covers: Vec<NodeId> =
+                        covers.into_iter().map(|c| NodeId(c.into())).collect();
+                    mft.install_fusion_sender(NodeId(bp.into()), &covers, now, &timing);
+                }
+                Op::Reap => {
+                    mft.reap(now);
+                }
+                Op::Advance(dt) => now = now + u64::from(dt),
+            }
+
+            // Invariant 1: fan-out sets only contain live members.
+            for n in mft.data_targets(now).chain(mft.tree_targets(now)) {
+                prop_assert!(mft.contains(n, now), "{n} in fan-out but not live");
+            }
+            // Invariant 2: data and tree sets respect the flag table —
+            // marked ⇒ no data; (stale ∧ marked) ⇒ no tree.
+            for n in mft.data_targets(now) {
+                prop_assert!(!mft.is_marked(n, now), "marked {n} got data");
+            }
+            for n in mft.tree_targets(now) {
+                prop_assert!(
+                    !(mft.is_marked(n, now) && mft.is_stale(n, now)),
+                    "marked+stale {n} got tree"
+                );
+            }
+            // Invariant 3: a live node appears exactly once.
+            let mut live: Vec<NodeId> = mft.live(now).collect();
+            let before = live.len();
+            live.sort();
+            live.dedup();
+            prop_assert_eq!(live.len(), before, "duplicate live entry");
+        }
+    }
+
+    /// An entry untouched for t2 is gone; one refreshed within t1 stays
+    /// fully active, whatever happened before.
+    #[test]
+    fn decay_is_exact(ops in proptest::collection::vec(op_strategy(), 0..30)) {
+        let timing = Timing::default();
+        let mut mft = HbhMft::default();
+        let mut now = Time::ZERO;
+        for op in ops {
+            match op {
+                Op::Refresh(n) => { mft.refresh_or_insert(NodeId(n.into()), now, &timing); }
+                Op::Mark(n) => { mft.mark(NodeId(n.into()), now); }
+                Op::Fusion { bp, covers } => {
+                    let covers: Vec<NodeId> =
+                        covers.into_iter().map(|c| NodeId(c.into())).collect();
+                    mft.install_fusion_sender(NodeId(bp.into()), &covers, now, &timing);
+                }
+                Op::Reap => { mft.reap(now); }
+                Op::Advance(dt) => now = now + u64::from(dt),
+            }
+        }
+        // Pin one entry now; everything about it is then fully predictable.
+        let probe = NodeId(99);
+        mft.refresh_or_insert(probe, now, &timing);
+        prop_assert!(mft.contains(probe, now + (timing.t1 - 1)));
+        prop_assert!(!mft.is_stale(probe, now + (timing.t1 - 1)));
+        prop_assert!(mft.is_stale(probe, now + timing.t1));
+        prop_assert!(!mft.contains(probe, now + timing.t2));
+    }
+}

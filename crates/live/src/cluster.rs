@@ -1,0 +1,108 @@
+//! Cluster harness: binds one UDP socket per graph node, spawns one thread
+//! per node running the protocol, and exposes command/delivery channels.
+
+use crate::codec::LiveMsg;
+use crate::node::{run_node, LiveCmd, NodeSetup};
+use hbh_proto_base::Cmd;
+use hbh_sim_core::{Delivery, Network, Protocol};
+use hbh_topo::graph::{Graph, NodeId};
+use std::collections::HashMap;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A running cluster of live nodes over loopback UDP.
+pub struct Cluster {
+    commands: HashMap<NodeId, Sender<LiveCmd>>,
+    deliveries: Receiver<Delivery>,
+    handles: Vec<JoinHandle<()>>,
+    /// Node → bound address, for inspection.
+    pub addresses: HashMap<NodeId, SocketAddr>,
+}
+
+impl Cluster {
+    /// Binds every node to an ephemeral loopback port and spawns its
+    /// thread. `make_proto` is called once per node (protocols are cheap
+    /// config structs).
+    pub fn launch<P, F>(graph: Graph, make_proto: F) -> std::io::Result<Cluster>
+    where
+        P: Protocol<Command = Cmd> + Send + 'static,
+        P::Msg: LiveMsg,
+        P::NodeState: Send,
+        F: Fn() -> P,
+    {
+        let net = Network::new(graph);
+        // Bind all sockets first so the full address book exists before
+        // any node starts talking.
+        let mut sockets = Vec::new();
+        let mut addr_book = HashMap::new();
+        for node in net.graph().nodes() {
+            let socket = UdpSocket::bind((std::net::Ipv4Addr::LOCALHOST, 0))?;
+            addr_book.insert(node, socket.local_addr()?);
+            sockets.push((node, socket));
+        }
+        let (dl_tx, dl_rx) = channel();
+        let mut commands = HashMap::new();
+        let mut handles = Vec::new();
+        for (node, socket) in sockets {
+            let (cmd_tx, cmd_rx) = channel();
+            commands.insert(node, cmd_tx);
+            let setup = NodeSetup {
+                node,
+                net: net.clone(),
+                addr_book: addr_book.clone(),
+                socket,
+                deliveries: dl_tx.clone(),
+                commands: cmd_rx,
+                seed: 0x11FE ^ u64::from(node.0),
+            };
+            let proto = make_proto();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("hbh-live-{node}"))
+                    .spawn(move || run_node(proto, setup))?,
+            );
+        }
+        Ok(Cluster { commands, deliveries: dl_rx, handles, addresses: addr_book })
+    }
+
+    /// Sends a protocol command to a node's thread.
+    pub fn command(&self, node: NodeId, cmd: Cmd) {
+        if let Some(tx) = self.commands.get(&node) {
+            let _ = tx.send(LiveCmd::Proto(cmd));
+        }
+    }
+
+    /// Blocks for the next application-level delivery.
+    pub fn wait_delivery(&self, timeout: Duration) -> Option<Delivery> {
+        self.deliveries.recv_timeout(timeout).ok()
+    }
+
+    /// Collects deliveries until `count` arrive or `timeout` elapses.
+    pub fn wait_deliveries(&self, count: usize, timeout: Duration) -> Vec<Delivery> {
+        let deadline = Instant::now() + timeout;
+        let mut out = Vec::new();
+        while out.len() < count {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            match self.deliveries.recv_timeout(left) {
+                Ok(d) => out.push(d),
+                Err(_) => break,
+            }
+        }
+        out
+    }
+
+    /// Stops every node thread and joins them.
+    pub fn shutdown(self) {
+        for tx in self.commands.values() {
+            let _ = tx.send(LiveCmd::Shutdown);
+        }
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}

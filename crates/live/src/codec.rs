@@ -1,0 +1,127 @@
+//! Datagram envelope: the kernel's [`Packet`] metadata followed by the
+//! `hbh-wire` encoding of the protocol message.
+//!
+//! ```text
+//! src u32 | dst u32 | ttl u8 | class u8 | tag u64 | injected_at u64 | wire msg …
+//! ```
+
+use hbh_sim_core::{Packet, PacketClass, Time};
+use hbh_topo::graph::NodeId;
+use hbh_wire::{decode as wire_decode, encode as wire_encode, WireMsg};
+
+/// Envelope header length in bytes.
+pub const ENVELOPE_LEN: usize = 4 + 4 + 1 + 1 + 8 + 8;
+
+/// Protocol messages that have a wire form (HBH and REUNITE here; PIM's
+/// data plane needs interface-directed forwarding that plain UDP unicast
+/// between processes doesn't model, which is exactly the paper's point).
+pub trait LiveMsg: Sized {
+    /// This message in its wire representation.
+    fn to_wire(&self) -> WireMsg;
+    /// Parses back from the wire representation (None: wrong family).
+    fn from_wire(w: WireMsg) -> Option<Self>;
+}
+
+impl LiveMsg for hbh_proto::HbhMsg {
+    fn to_wire(&self) -> WireMsg {
+        WireMsg::Hbh(self.clone())
+    }
+    fn from_wire(w: WireMsg) -> Option<Self> {
+        match w {
+            WireMsg::Hbh(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+impl LiveMsg for hbh_reunite::ReuniteMsg {
+    fn to_wire(&self) -> WireMsg {
+        WireMsg::Reunite(*self)
+    }
+    fn from_wire(w: WireMsg) -> Option<Self> {
+        match w {
+            WireMsg::Reunite(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Serializes a packet into one UDP datagram.
+pub fn encode_packet<M: LiveMsg>(pkt: &Packet<M>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ENVELOPE_LEN + 32);
+    out.extend_from_slice(&pkt.src.0.to_be_bytes());
+    out.extend_from_slice(&pkt.dst.0.to_be_bytes());
+    out.push(pkt.ttl);
+    out.push(match pkt.class {
+        PacketClass::Control => 0,
+        PacketClass::Data => 1,
+    });
+    out.extend_from_slice(&pkt.tag.to_be_bytes());
+    out.extend_from_slice(&pkt.injected_at.0.to_be_bytes());
+    out.extend_from_slice(&wire_encode(&pkt.payload.to_wire()));
+    out
+}
+
+/// Parses one UDP datagram back into a packet. `None` on any malformation
+/// (a live node drops garbage, it doesn't crash).
+pub fn decode_packet<M: LiveMsg>(buf: &[u8]) -> Option<Packet<M>> {
+    if buf.len() < ENVELOPE_LEN {
+        return None;
+    }
+    let u32_at = |i: usize| u32::from_be_bytes(buf[i..i + 4].try_into().unwrap());
+    let u64_at = |i: usize| u64::from_be_bytes(buf[i..i + 8].try_into().unwrap());
+    let src = NodeId(u32_at(0));
+    let dst = NodeId(u32_at(4));
+    let ttl = buf[8];
+    let class = match buf[9] {
+        0 => PacketClass::Control,
+        1 => PacketClass::Data,
+        _ => return None,
+    };
+    let tag = u64_at(10);
+    let injected_at = Time(u64_at(18));
+    let payload = M::from_wire(wire_decode(&buf[ENVELOPE_LEN..]).ok()?)?;
+    Some(Packet { src, dst, ttl, class, tag, injected_at, payload })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbh_proto::HbhMsg;
+    use hbh_proto_base::Channel;
+
+    fn sample() -> Packet<HbhMsg> {
+        let ch = Channel::primary(NodeId(3));
+        let mut p = Packet::data(NodeId(3), NodeId(9), 42, Time(17), HbhMsg::Data { ch });
+        p.ttl = 7;
+        p
+    }
+
+    #[test]
+    fn packet_roundtrip() {
+        let p = sample();
+        let q: Packet<HbhMsg> = decode_packet(&encode_packet(&p)).unwrap();
+        assert_eq!((q.src, q.dst, q.ttl, q.class, q.tag, q.injected_at),
+                   (p.src, p.dst, p.ttl, p.class, p.tag, p.injected_at));
+        assert_eq!(q.payload, p.payload);
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_panicking() {
+        assert!(decode_packet::<HbhMsg>(&[]).is_none());
+        assert!(decode_packet::<HbhMsg>(&[0u8; 10]).is_none());
+        let mut bytes = encode_packet(&sample());
+        bytes[9] = 9; // bad class
+        assert!(decode_packet::<HbhMsg>(&bytes).is_none());
+        let mut bytes = encode_packet(&sample());
+        bytes.truncate(ENVELOPE_LEN + 3);
+        assert!(decode_packet::<HbhMsg>(&bytes).is_none());
+    }
+
+    #[test]
+    fn wrong_protocol_family_is_rejected() {
+        let p = sample();
+        let bytes = encode_packet(&p);
+        assert!(decode_packet::<hbh_reunite::ReuniteMsg>(&bytes).is_none());
+    }
+}

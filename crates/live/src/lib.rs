@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! # hbh-live — the protocol engines on real sockets
+//!
+//! Everything in `hbh-proto` / `hbh-reunite` is written against the
+//! [`hbh_sim_core::KernelOps`] capability trait, not against the simulator.
+//! This crate provides the other implementation of that trait: one OS
+//! thread per node, a real `UdpSocket` per node, messages encoded with
+//! `hbh-wire`, and wall-clock timers (1 simulated time unit = 1 ms). The
+//! *identical protocol code* that reproduces the paper's figures in the
+//! simulator runs here over loopback UDP — recursive unicast on an actual
+//! unicast network.
+//!
+//! ```no_run
+//! use hbh_live::{Cluster, LiveTiming};
+//! use hbh_proto::Hbh;
+//! use hbh_proto_base::{Channel, Cmd};
+//! use hbh_topo::scenarios;
+//!
+//! let graph = scenarios::fig2();
+//! let source = graph.node_by_label("S").unwrap();
+//! let r1 = graph.node_by_label("r1").unwrap();
+//! let cluster = Cluster::launch(graph, || Hbh::new(LiveTiming::fast().0)).unwrap();
+//! let ch = Channel::primary(source);
+//! cluster.command(source, Cmd::StartSource(ch));
+//! cluster.command(r1, Cmd::Join(ch));
+//! std::thread::sleep(std::time::Duration::from_millis(1500));
+//! cluster.command(source, Cmd::SendData { ch, tag: 1 });
+//! let d = cluster.wait_delivery(std::time::Duration::from_secs(2)).unwrap();
+//! assert_eq!(d.node, r1);
+//! cluster.shutdown();
+//! ```
+//!
+//! ## Scope
+//!
+//! This is a demonstration runtime, not a production daemon: every node is
+//! given the same frozen [`hbh_sim_core::Network`] as its routing view
+//! (the moral equivalent of a converged link-state domain), there is no
+//! config reload, and all nodes live in one process. What it proves is the
+//! part that matters for the paper's deployment story — the protocol state
+//! machines need nothing from the simulator.
+
+pub mod cluster;
+pub mod codec;
+pub mod node;
+
+pub use cluster::Cluster;
+pub use codec::LiveMsg;
+pub use node::LiveTiming;

@@ -1,0 +1,81 @@
+//! End-to-end over real loopback UDP: the unchanged HBH and REUNITE
+//! engines build their trees and deliver data between actual sockets.
+
+use hbh_live::{Cluster, LiveTiming};
+use hbh_proto::Hbh;
+use hbh_proto_base::{Channel, Cmd};
+use hbh_reunite::Reunite;
+use hbh_topo::graph::NodeId;
+use hbh_topo::scenarios;
+use std::collections::HashSet;
+use std::time::Duration;
+
+fn converge_ms() -> u64 {
+    let t = LiveTiming::fast().0;
+    t.convergence_horizon(200)
+}
+
+#[test]
+fn hbh_over_udp_delivers_to_all_receivers() {
+    let graph = scenarios::fig2();
+    let n = |l: &str| graph.node_by_label(l).unwrap();
+    let (s, r1, r2, r3) = (n("S"), n("r1"), n("r2"), n("r3"));
+    let cluster = Cluster::launch(graph, || Hbh::new(LiveTiming::fast().0)).unwrap();
+    let ch = Channel::primary(s);
+    cluster.command(s, Cmd::StartSource(ch));
+    for (i, r) in [r1, r2, r3].into_iter().enumerate() {
+        std::thread::sleep(Duration::from_millis(60 * i as u64));
+        cluster.command(r, Cmd::Join(ch));
+    }
+    std::thread::sleep(Duration::from_millis(converge_ms()));
+
+    cluster.command(s, Cmd::SendData { ch, tag: 7 });
+    let got = cluster.wait_deliveries(3, Duration::from_secs(3));
+    let nodes: HashSet<NodeId> = got.iter().map(|d| d.node).collect();
+    assert_eq!(nodes, HashSet::from([r1, r2, r3]), "deliveries: {got:?}");
+    assert!(got.iter().all(|d| d.tag == 7));
+    cluster.shutdown();
+}
+
+#[test]
+fn reunite_over_udp_delivers_to_all_receivers() {
+    let graph = scenarios::fig3();
+    let n = |l: &str| graph.node_by_label(l).unwrap();
+    let (s, r1, r2) = (n("S"), n("r1"), n("r2"));
+    let cluster = Cluster::launch(graph, || Reunite::new(LiveTiming::fast().0)).unwrap();
+    let ch = Channel::primary(s);
+    cluster.command(s, Cmd::StartSource(ch));
+    cluster.command(r1, Cmd::Join(ch));
+    std::thread::sleep(Duration::from_millis(120));
+    cluster.command(r2, Cmd::Join(ch));
+    std::thread::sleep(Duration::from_millis(converge_ms()));
+
+    cluster.command(s, Cmd::SendData { ch, tag: 9 });
+    let got = cluster.wait_deliveries(2, Duration::from_secs(3));
+    let nodes: HashSet<NodeId> = got.iter().map(|d| d.node).collect();
+    assert_eq!(nodes, HashSet::from([r1, r2]), "deliveries: {got:?}");
+    cluster.shutdown();
+}
+
+#[test]
+fn leave_stops_delivery_over_udp() {
+    let graph = scenarios::fig2();
+    let n = |l: &str| graph.node_by_label(l).unwrap();
+    let (s, r1, r3) = (n("S"), n("r1"), n("r3"));
+    let timing = LiveTiming::fast().0;
+    let cluster = Cluster::launch(graph, || Hbh::new(timing)).unwrap();
+    let ch = Channel::primary(s);
+    cluster.command(s, Cmd::StartSource(ch));
+    cluster.command(r1, Cmd::Join(ch));
+    cluster.command(r3, Cmd::Join(ch));
+    std::thread::sleep(Duration::from_millis(converge_ms()));
+    cluster.command(r3, Cmd::Leave(ch));
+    // Let r3's soft state decay fully.
+    std::thread::sleep(Duration::from_millis(3 * timing.t2 + 5 * timing.tree_period));
+
+    cluster.command(s, Cmd::SendData { ch, tag: 5 });
+    let got = cluster.wait_deliveries(2, Duration::from_millis(800));
+    let nodes: Vec<NodeId> = got.iter().map(|d| d.node).collect();
+    assert_eq!(nodes, vec![r1], "only the remaining member: {got:?}");
+    cluster.shutdown();
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # hbh-pim — the PIM baselines of the paper's evaluation
+//!
+//! The paper compares HBH against two "classical" protocols as simulated by
+//! NS's centralized multicast (§4.2):
+//!
+//! * **PIM-SM** — *shared trees only*: receivers send `(*, G)` joins toward
+//!   a rendez-vous point (RP); the joins install reverse-path forwarding
+//!   state, so data flows from the RP to each receiver along the *reverse*
+//!   of the receiver→RP unicast route. The source unicast-encapsulates its
+//!   data to the RP (the register path), which is why the paper observes
+//!   the source→RP half of every path to be delay-minimal. No shared→source
+//!   switchover is performed (neither does the paper's version).
+//! * **PIM-SS** — *source trees only*: the tree shape of PIM-SSM. `(S, G)`
+//!   joins travel toward the source itself; data flows down the reverse
+//!   SPT. RPF guarantees at most one copy of a packet per link, making
+//!   PIM-SS the tree-cost yardstick of Figure 7.
+//!
+//! Both are implemented as genuine message-driven hop-by-hop join protocols
+//! on the simulation kernel — not analytic shortcuts — so that they
+//! converge, refresh, and decay exactly like the recursive-unicast
+//! protocols they are compared against. The analytic reverse-SPT
+//! construction in `hbh-routing::paths` is used by the tests to verify
+//! that the converged engine produces exactly the expected tree.
+//!
+//! Simplifications relative to RFC 2362, mirroring the paper's own
+//! simulated version: no prunes (leaves decay by soft-state timeout), no
+//! assert elections (point-to-point links), no register-stop, and the RP
+//! is supplied by configuration.
+
+pub mod engine;
+pub mod messages;
+pub mod oif;
+
+pub use engine::{Pim, PimMode};
+pub use messages::PimMsg;

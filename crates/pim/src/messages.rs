@@ -1,0 +1,63 @@
+//! PIM wire messages.
+
+use hbh_proto_base::Channel;
+use hbh_topo::graph::NodeId;
+
+/// Payloads carried by PIM packets.
+///
+/// `Join` travels hop-by-hop toward the tree root (the source for PIM-SS,
+/// the RP for PIM-SM; the root is the packet's unicast destination).
+/// `downstream` is the node that most recently processed the join — the
+/// neighbor the current hop must install as an outgoing interface. Each
+/// PIM router rewrites it before forwarding, which is exactly how real PIM
+/// joins are re-originated hop by hop.
+///
+/// `Data` packets are forwarded link-by-link along installed oif state:
+/// each copy is unicast-addressed to the *next tree hop* (and, on the
+/// PIM-SM register path, to the RP).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PimMsg {
+    /// `(root, G)` join toward the tree root (source or RP).
+    Join {
+        /// The `(root, G)` state being joined.
+        ch: Channel,
+        /// The neighbor to install as outgoing interface.
+        downstream: NodeId,
+    },
+    /// Channel data, replicated per oif.
+    Data {
+        /// The channel the payload belongs to.
+        ch: Channel,
+    },
+}
+
+impl PimMsg {
+    /// The channel this message belongs to.
+    pub fn channel(&self) -> Channel {
+        match *self {
+            PimMsg::Join { ch, .. } | PimMsg::Data { ch } => ch,
+        }
+    }
+}
+
+/// Node-local timers.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[allow(clippy::enum_variant_names)]
+pub enum PimTimer {
+    /// Receiver agent: re-send the periodic join for a channel.
+    JoinRefresh(Channel),
+    /// Router: reap dead oif entries for a channel.
+    Sweep(Channel),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_accessor() {
+        let ch = Channel::primary(NodeId(1));
+        assert_eq!(PimMsg::Data { ch }.channel(), ch);
+        assert_eq!(PimMsg::Join { ch, downstream: NodeId(2) }.channel(), ch);
+    }
+}

@@ -1,0 +1,111 @@
+//! The `<S, G>` channel abstraction.
+//!
+//! HBH identifies a multicast conversation by the pair `<S, G>`: `S` is the
+//! unicast address of the source and `G` a class-D group address allocated
+//! by the source (§3 of the paper). Concatenating the two solves multicast
+//! address allocation (the unicast address is globally unique) while
+//! remaining compatible with IP Multicast — unlike REUNITE's `<S, P>` port
+//! pairs, which abandon class-D addressing entirely.
+//!
+//! In the simulator, node ids play the role of unicast addresses (the
+//! mapping is 1:1 and lossless); group addresses live in their own type so
+//! the two spaces cannot be confused, and render in the source-specific
+//! multicast range `232/8` the way a deployed HBH would allocate them.
+
+use hbh_topo::graph::NodeId;
+use std::fmt;
+
+/// A class-D (multicast) group address allocated by a source.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GroupAddr(pub u32);
+
+impl GroupAddr {
+    /// Size of the per-source group space we format into `232/8`.
+    const HOST_SPACE: u32 = 1 << 24;
+}
+
+impl fmt::Display for GroupAddr {
+    /// Renders inside the SSM range: `232.x.y.z`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = self.0 % Self::HOST_SPACE;
+        write!(f, "232.{}.{}.{}", (v >> 16) & 0xff, (v >> 8) & 0xff, v & 0xff)
+    }
+}
+
+impl fmt::Debug for GroupAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A source-specific multicast channel `<S, G>`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Channel {
+    /// Unicast address of the source (the node the source agent runs on).
+    pub source: NodeId,
+    /// Group address allocated by that source.
+    pub group: GroupAddr,
+}
+
+impl Channel {
+    /// The channel `<source, group>`.
+    pub fn new(source: NodeId, group: GroupAddr) -> Self {
+        Channel { source, group }
+    }
+
+    /// The conventional "first" channel of a source, used by experiments
+    /// that need exactly one group.
+    pub fn primary(source: NodeId) -> Self {
+        Channel { source, group: GroupAddr(1) }
+    }
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}, {}>", self.source, self.group)
+    }
+}
+
+impl fmt::Debug for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_addr_formats_in_ssm_range() {
+        assert_eq!(GroupAddr(1).to_string(), "232.0.0.1");
+        assert_eq!(GroupAddr(0x01_02_03).to_string(), "232.1.2.3");
+    }
+
+    #[test]
+    fn group_addr_wraps_host_space() {
+        assert_eq!(GroupAddr(GroupAddr::HOST_SPACE + 5).to_string(), "232.0.0.5");
+    }
+
+    #[test]
+    fn channel_identity_is_source_and_group() {
+        let a = Channel::new(NodeId(3), GroupAddr(1));
+        let b = Channel::new(NodeId(3), GroupAddr(1));
+        let c = Channel::new(NodeId(4), GroupAddr(1));
+        let d = Channel::new(NodeId(3), GroupAddr(2));
+        assert_eq!(a, b);
+        assert_ne!(a, c, "same group under different sources is a different channel");
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn channel_displays_as_pair() {
+        assert_eq!(Channel::primary(NodeId(18)).to_string(), "<n18, 232.0.0.1>");
+    }
+
+    #[test]
+    fn debug_matches_display() {
+        let ch = Channel::primary(NodeId(2));
+        assert_eq!(format!("{ch:?}"), ch.to_string());
+    }
+}

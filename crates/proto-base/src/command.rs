@@ -1,0 +1,60 @@
+//! The experiment-side command vocabulary.
+//!
+//! Every protocol instantiates its kernel with this command type, so the
+//! experiment runner can drive HBH, REUNITE and the PIM variants through
+//! one interface: start a source, join/leave receivers, inject a tagged
+//! data probe.
+
+use crate::channel::Channel;
+
+/// A command scheduled at a node by the experiment driver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cmd {
+    /// The node starts sourcing `ch` (must be `ch.source`). For protocols
+    /// with periodic source behaviour (HBH/REUNITE tree messages, PIM-SM
+    /// register path) this arms the source agent.
+    StartSource(Channel),
+    /// The node's receiver agent subscribes to `ch` and starts its
+    /// periodic joins.
+    Join(Channel),
+    /// The receiver agent unsubscribes: it simply *stops sending joins*
+    /// (the paper's leave semantics — soft state does the rest).
+    Leave(Channel),
+    /// The source injects one data packet on `ch`, tagged `tag` for
+    /// accounting. Must be scheduled at `ch.source`.
+    SendData {
+        /// The channel to send on.
+        ch: Channel,
+        /// Accounting tag attributed to this packet's copies.
+        tag: u64,
+    },
+}
+
+impl Cmd {
+    /// The channel this command concerns.
+    pub fn channel(&self) -> Channel {
+        match *self {
+            Cmd::StartSource(ch) | Cmd::Join(ch) | Cmd::Leave(ch) => ch,
+            Cmd::SendData { ch, .. } => ch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbh_topo::graph::NodeId;
+
+    #[test]
+    fn channel_accessor_covers_all_variants() {
+        let ch = Channel::primary(NodeId(1));
+        for cmd in [
+            Cmd::StartSource(ch),
+            Cmd::Join(ch),
+            Cmd::Leave(ch),
+            Cmd::SendData { ch, tag: 3 },
+        ] {
+            assert_eq!(cmd.channel(), ch);
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! State-inventory introspection, used by the state-size experiment.
+//!
+//! REUNITE's founding observation (§2.1 of the HBH paper) is that classic
+//! multicast keeps *forwarding* state at every on-tree router although
+//! only the minority — the branching nodes — need it. Each protocol's
+//! node state reports how many forwarding-plane and control-plane-only
+//! entries it holds for a channel, so the experiment can compare the
+//! protocols' state footprints directly.
+
+use crate::channel::Channel;
+
+/// Per-node protocol-state accounting.
+pub trait StateInventory {
+    /// Entries consulted by the data plane for `ch` (MFT entries, PIM
+    /// oifs). Zero means this node forwards `ch`'s data as plain unicast.
+    fn forwarding_entries(&self, ch: Channel) -> usize;
+
+    /// Control-plane-only entries for `ch` (MCT entries). PIM has none —
+    /// all its per-group state is forwarding state.
+    fn control_entries(&self, ch: Channel) -> usize;
+}

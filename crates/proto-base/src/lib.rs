@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # hbh-proto-base — building blocks shared by all four protocols
+//!
+//! HBH, REUNITE, PIM-SM and PIM-SS share a surprising amount of machinery:
+//! the `<S, G>` channel abstraction, soft state with a stale timer `t1` and
+//! a destruction timer `t2`, periodic refresh messages, and the same
+//! experiment-side command vocabulary (start source / join / leave / send
+//! data). This crate holds those pieces so each protocol crate contains
+//! only what is genuinely protocol-specific: its message set and its
+//! message-processing rules.
+//!
+//! * [`channel`] — `<S, G>` channel identifiers (EXPRESS-style: unicast
+//!   source plus class-D group in the SSM `232/8` range);
+//! * [`softstate`] — the t1/t2 soft-state entry lifecycle, timestamp-based
+//!   (entries are refreshed by messages and reaped lazily, the standard
+//!   soft-state implementation technique);
+//! * [`command`] — the common experiment command set, the `Command` type of
+//!   every protocol's kernel instantiation;
+//! * [`timing`] — refresh periods and timer durations (the paper does not
+//!   publish NS parameter values; the defaults here are derived from the
+//!   topology scale and documented);
+//! * [`membership`] — receiver-set sampling and join/leave schedules (the
+//!   paper's "variable number of randomly chosen receivers", plus the
+//!   Poisson churn used by the group-dynamics ablation).
+
+pub mod channel;
+pub mod command;
+pub mod inventory;
+pub mod membership;
+pub mod softstate;
+pub mod timing;
+
+pub use channel::{Channel, GroupAddr};
+pub use command::Cmd;
+pub use inventory::StateInventory;
+pub use softstate::{EntryPhase, SoftEntry};
+pub use timing::Timing;

@@ -1,0 +1,185 @@
+//! Group-membership workloads.
+//!
+//! The paper's evaluation (§4.1): *"A variable number of randomly chosen
+//! receivers join the channel"* — receivers are sampled uniformly without
+//! replacement from the per-router host pool, for each group size, 500
+//! independent runs. [`sample_receivers`] implements the sampling;
+//! [`join_schedule`] staggers the joins over a window (simultaneous joins
+//! would be an unrealistic lock-step special case); [`churn_schedule`]
+//! generates the Poisson join/leave process used by the group-dynamics
+//! ablation (`DESIGN.md` A4).
+
+use hbh_sim_core::Time;
+use hbh_topo::graph::NodeId;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Samples `m` distinct receivers uniformly from `pool` (partial
+/// Fisher–Yates; order is the sampling order).
+///
+/// # Panics
+/// Panics if `m > pool.len()`.
+pub fn sample_receivers(pool: &[NodeId], m: usize, rng: &mut StdRng) -> Vec<NodeId> {
+    assert!(m <= pool.len(), "cannot sample {m} receivers from a pool of {}", pool.len());
+    let mut pool = pool.to_vec();
+    for i in 0..m {
+        let j = rng.random_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    pool.truncate(m);
+    pool
+}
+
+/// Assigns each receiver a join time uniform in `[start, start + window]`.
+pub fn join_schedule(
+    receivers: &[NodeId],
+    start: Time,
+    window: u64,
+    rng: &mut StdRng,
+) -> Vec<(NodeId, Time)> {
+    receivers
+        .iter()
+        .map(|&r| (r, start + rng.random_range(0..=window)))
+        .collect()
+}
+
+/// A membership-change event for the churn ablation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// The host subscribes.
+    Join(NodeId),
+    /// The host unsubscribes.
+    Leave(NodeId),
+}
+
+/// Generates a Poisson churn process over `horizon`: events arrive with
+/// exponential inter-arrival times of mean `mean_gap`; each event toggles
+/// a uniformly chosen host between member and non-member.
+///
+/// Returns `(time, event)` pairs in time order. The initial membership is
+/// empty; a `Leave` is only ever emitted for a current member.
+pub fn churn_schedule(
+    pool: &[NodeId],
+    mean_gap: f64,
+    start: Time,
+    horizon: u64,
+    rng: &mut StdRng,
+) -> Vec<(Time, ChurnEvent)> {
+    assert!(!pool.is_empty() && mean_gap > 0.0);
+    let mut member = vec![false; pool.len()];
+    let mut events = Vec::new();
+    let mut t = start.0 as f64;
+    let end = start.0 + horizon;
+    loop {
+        // Exponential inter-arrival via inverse CDF; clamp u away from 0.
+        let u: f64 = rng.random::<f64>().max(1e-12);
+        t += -u.ln() * mean_gap;
+        if t as u64 > end {
+            break;
+        }
+        let i = rng.random_range(0..pool.len());
+        member[i] = !member[i];
+        let ev =
+            if member[i] { ChurnEvent::Join(pool[i]) } else { ChurnEvent::Leave(pool[i]) };
+        events.push((Time(t as u64), ev));
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn pool(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId).collect()
+    }
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn sample_is_distinct_and_from_pool() {
+        let p = pool(20);
+        let s = sample_receivers(&p, 8, &mut rng(1));
+        assert_eq!(s.len(), 8);
+        let mut sorted = s.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8, "duplicates in sample");
+        assert!(s.iter().all(|r| p.contains(r)));
+    }
+
+    #[test]
+    fn sample_full_pool_is_permutation() {
+        let p = pool(5);
+        let mut s = sample_receivers(&p, 5, &mut rng(2));
+        s.sort();
+        assert_eq!(s, p);
+    }
+
+    #[test]
+    fn sample_is_seed_deterministic() {
+        let p = pool(20);
+        assert_eq!(sample_receivers(&p, 7, &mut rng(3)), sample_receivers(&p, 7, &mut rng(3)));
+    }
+
+    #[test]
+    fn sampling_is_roughly_uniform() {
+        // Each of 10 hosts should appear ~500 times over 1000 draws of 5.
+        let p = pool(10);
+        let mut counts = [0u32; 10];
+        let mut r = rng(4);
+        for _ in 0..1000 {
+            for n in sample_receivers(&p, 5, &mut r) {
+                counts[n.0 as usize] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((400..=600).contains(&c), "host {i} drawn {c} times");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn oversampling_rejected() {
+        sample_receivers(&pool(3), 4, &mut rng(0));
+    }
+
+    #[test]
+    fn join_schedule_within_window() {
+        let p = pool(10);
+        let sched = join_schedule(&p, Time(50), 200, &mut rng(5));
+        assert_eq!(sched.len(), 10);
+        for &(_, t) in &sched {
+            assert!(t >= Time(50) && t <= Time(250));
+        }
+    }
+
+    #[test]
+    fn churn_alternates_join_leave_per_node() {
+        let p = pool(4);
+        let events = churn_schedule(&p, 10.0, Time(0), 10_000, &mut rng(6));
+        assert!(!events.is_empty());
+        let mut member = std::collections::HashSet::new();
+        for (_, ev) in &events {
+            match ev {
+                ChurnEvent::Join(n) => assert!(member.insert(*n), "joined while member"),
+                ChurnEvent::Leave(n) => assert!(member.remove(n), "left while not member"),
+            }
+        }
+    }
+
+    #[test]
+    fn churn_is_time_ordered_and_bounded() {
+        let p = pool(4);
+        let events = churn_schedule(&p, 5.0, Time(100), 1000, &mut rng(7));
+        let mut prev = Time(0);
+        for &(t, _) in &events {
+            assert!(t >= prev);
+            assert!(t.0 <= 1100);
+            prev = t;
+        }
+    }
+}

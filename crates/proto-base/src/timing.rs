@@ -1,0 +1,98 @@
+//! Protocol timing parameters.
+//!
+//! The paper describes the timer *structure* (periodic joins from
+//! receivers, periodic trees from the source, per-entry t1/t2) but — as is
+//! usual for NS studies — does not publish the constants. The defaults
+//! here are scaled to the experiment topologies:
+//!
+//! * the largest one-way path in any experiment is well under 100 time
+//!   units (≤ ~10 hops × cost ≤ 10), so a refresh `period` of 100 keeps
+//!   every refresh round-trip inside one period;
+//! * `t1 = 2.6 × period` tolerates two lost/interleaved refresh rounds
+//!   before an entry goes stale (the 0.6 slack keeps a refresh that lands
+//!   exactly on a period boundary from racing its own expiry);
+//! * `t2 = 2 × t1` gives the paper's two-stage decay: stale long enough
+//!   for reconfiguration to happen (Figure 2's walk-through), then gone.
+//!
+//! The steady-state *tree shapes* the paper measures are insensitive to
+//! these constants (they only change how fast convergence happens); the
+//! timer-sensitivity ablation (`DESIGN.md` A3) varies them explicitly.
+
+/// Timer and period configuration shared by all protocols.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Timing {
+    /// Period between two `join` refreshes from a receiver.
+    pub join_period: u64,
+    /// Period between two `tree` refreshes from the source.
+    pub tree_period: u64,
+    /// Entry staleness timeout (from last refresh).
+    pub t1: u64,
+    /// Entry destruction timeout (from last refresh).
+    pub t2: u64,
+}
+
+impl Default for Timing {
+    fn default() -> Self {
+        let period = 100;
+        let t1 = period * 26 / 10;
+        Timing { join_period: period, tree_period: period, t1, t2: 2 * t1 }
+    }
+}
+
+impl Timing {
+    /// How long an experiment should run for a group of `n` receivers to
+    /// be safely converged: every receiver has joined, fusions have
+    /// propagated, superseded entries have died (one full t2), plus slack.
+    ///
+    /// Convergence is *verified* by the experiment runner (quiescence of
+    /// structural changes), this is only the horizon it waits within.
+    pub fn convergence_horizon(&self, join_window: u64) -> u64 {
+        join_window + 4 * self.t2 + 10 * self.join_period.max(self.tree_period)
+    }
+
+    /// Sanity-checks the invariants the protocols rely on.
+    pub fn validate(&self) {
+        assert!(self.join_period > 0 && self.tree_period > 0, "periods must be positive");
+        assert!(
+            self.t1 > self.join_period && self.t1 > self.tree_period,
+            "t1 must exceed the refresh periods or entries flap"
+        );
+        assert!(self.t2 > self.t1, "t2 must exceed t1");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        Timing::default().validate();
+    }
+
+    #[test]
+    fn defaults_have_paper_structure() {
+        let t = Timing::default();
+        assert!(t.t1 > 2 * t.join_period, "survives two lost refresh rounds");
+        assert_eq!(t.t2, 2 * t.t1);
+    }
+
+    #[test]
+    #[should_panic(expected = "t1 must exceed")]
+    fn flappy_t1_rejected() {
+        Timing { join_period: 100, tree_period: 100, t1: 50, t2: 100 }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "t2 must exceed t1")]
+    fn inverted_t2_rejected() {
+        Timing { join_period: 10, tree_period: 10, t1: 50, t2: 50 }.validate();
+    }
+
+    #[test]
+    fn horizon_covers_join_window_and_decay() {
+        let t = Timing::default();
+        let h = t.convergence_horizon(500);
+        assert!(h >= 500 + 4 * t.t2);
+    }
+}

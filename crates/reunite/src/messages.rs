@@ -1,0 +1,89 @@
+//! REUNITE wire messages and node timers.
+
+use hbh_proto_base::Channel;
+use hbh_topo::graph::NodeId;
+
+/// REUNITE packet payloads.
+///
+/// REUNITE identifies a conversation by `<S, P>` (source address + port);
+/// we reuse the [`Channel`] type for it — the distinction the HBH paper
+/// draws (class-D compatibility) is about the *addressing architecture*,
+/// not the protocol mechanics, and is discussed in the crate docs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReuniteMsg {
+    /// `join(S, r)`: unicast from receiver `r` toward the source,
+    /// interceptable by branching nodes on the way.
+    ///
+    /// `fresh` distinguishes a receiver's *first* join (which may be
+    /// captured by a branching node or promote an MCT router — "r2 joined
+    /// the channel at R3") from the periodic *refresh* joins, which only
+    /// refresh entries that already exist. Without the distinction, a
+    /// refresh join passing a newly promoted branching node would be
+    /// captured there, starving the upstream entry it used to refresh and
+    /// livelocking the tree in endless marked-tree reconfigurations (the
+    /// original REUNITE carries the same flag for the same reason).
+    Join {
+        /// The conversation being joined.
+        ch: Channel,
+        /// The joining receiver.
+        receiver: NodeId,
+        /// First join (may be captured / promote) vs. refresh.
+        fresh: bool,
+    },
+    /// `tree(S, r)`: sent downstream (unicast toward `r`), installing and
+    /// refreshing MCT soft state. A **marked** tree announces that data
+    /// addressed to `r` will stop flowing and wipes `r`'s MCT entries.
+    Tree {
+        /// The conversation being refreshed.
+        ch: Channel,
+        /// The receiver this tree message heads for.
+        receiver: NodeId,
+        /// Marked trees announce the receiver's data will stop.
+        marked: bool,
+    },
+    /// Channel data. Addressed to `MFT<S>.dst` of the branching node that
+    /// produced it (initially the source's `dst`).
+    Data {
+        /// The conversation the payload belongs to.
+        ch: Channel,
+    },
+}
+
+impl ReuniteMsg {
+    /// The channel this message belongs to.
+    pub fn channel(&self) -> Channel {
+        match *self {
+            ReuniteMsg::Join { ch, .. }
+            | ReuniteMsg::Tree { ch, .. }
+            | ReuniteMsg::Data { ch } => ch,
+        }
+    }
+}
+
+/// Node-local timers.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ReuniteTimer {
+    /// Receiver agent: periodic `join` refresh.
+    JoinRefresh(Channel),
+    /// Source agent: periodic `tree` emission (doubles as the source's
+    /// table sweep).
+    TreeRefresh(Channel),
+    /// Router: reap dead MCT/MFT entries.
+    Sweep(Channel),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_accessor_covers_variants() {
+        let ch = Channel::primary(NodeId(0));
+        assert_eq!(ReuniteMsg::Data { ch }.channel(), ch);
+        assert_eq!(ReuniteMsg::Join { ch, receiver: NodeId(1), fresh: true }.channel(), ch);
+        assert_eq!(
+            ReuniteMsg::Tree { ch, receiver: NodeId(1), marked: true }.channel(),
+            ch
+        );
+    }
+}

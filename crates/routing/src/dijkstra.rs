@@ -1,0 +1,292 @@
+//! Single-source shortest paths over directed link costs.
+//!
+//! Two details matter for protocol fidelity:
+//!
+//! * **Hosts never transit.** The paper's receivers are end hosts; a packet
+//!   is never routed *through* one. The search therefore only relaxes
+//!   out-edges of the root and of routers. (The Figure 2 scenario attaches
+//!   a receiver to two routers, which would otherwise open a fake shortcut.)
+//! * **Deterministic tie-breaking.** When two paths have equal cost the one
+//!   whose predecessor has the smaller node id wins, so routing tables are
+//!   a pure function of the topology — a property the regression tests and
+//!   the paired-run experiment design both rely on.
+
+use hbh_topo::graph::{Graph, NodeId, PathCost};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of one single-source Dijkstra run.
+#[derive(Clone, Debug)]
+pub struct ShortestPaths {
+    root: NodeId,
+    /// `dist[v]` = cost of the shortest `root → v` path (`u64::MAX` if
+    /// unreachable).
+    dist: Vec<PathCost>,
+    /// `pred[v]` = previous hop on the shortest `root → v` path.
+    pred: Vec<Option<NodeId>>,
+}
+
+const UNREACHABLE: PathCost = PathCost::MAX;
+
+/// Runs Dijkstra from `root` over the directed costs of `g`.
+pub fn shortest_paths(g: &Graph, root: NodeId) -> ShortestPaths {
+    let n = g.node_count();
+    let mut dist = vec![UNREACHABLE; n];
+    let mut pred: Vec<Option<NodeId>> = vec![None; n];
+    let mut done = vec![false; n];
+    let mut heap: BinaryHeap<Reverse<(PathCost, NodeId)>> = BinaryHeap::new();
+
+    dist[root.index()] = 0;
+    heap.push(Reverse((0, root)));
+
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if done[u.index()] {
+            continue;
+        }
+        done[u.index()] = true;
+        // Hosts sink traffic; only the search root may emit from one.
+        if u != root && g.is_host(u) {
+            continue;
+        }
+        for e in g.neighbors(u) {
+            let v = e.to;
+            let nd = d + PathCost::from(e.cost);
+            let better = nd < dist[v.index()]
+                || (nd == dist[v.index()] && tie_break(pred[v.index()], u));
+            if better && !done[v.index()] {
+                dist[v.index()] = nd;
+                pred[v.index()] = Some(u);
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+
+    ShortestPaths { root, dist, pred }
+}
+
+/// On an equal-cost tie, adopt the new predecessor only if it has a
+/// strictly smaller id than the incumbent.
+fn tie_break(current: Option<NodeId>, candidate: NodeId) -> bool {
+    match current {
+        None => true,
+        Some(c) => candidate < c,
+    }
+}
+
+impl ShortestPaths {
+    /// The root this run was computed from.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Cost of the shortest `root → v` path, `None` if unreachable.
+    pub fn dist(&self, v: NodeId) -> Option<PathCost> {
+        match self.dist[v.index()] {
+            UNREACHABLE => None,
+            d => Some(d),
+        }
+    }
+
+    /// Predecessor of `v` on its shortest path from the root.
+    pub fn pred(&self, v: NodeId) -> Option<NodeId> {
+        self.pred[v.index()]
+    }
+
+    /// The full path `root → … → v`, `None` if unreachable.
+    pub fn path_to(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        self.dist(v)?;
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.pred[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        debug_assert_eq!(cur, self.root);
+        path.reverse();
+        Some(path)
+    }
+
+    /// First hop on the path `root → v` (i.e. the neighbor of `root` that
+    /// traffic to `v` leaves through). `None` if `v` is the root itself or
+    /// unreachable.
+    pub fn first_hop(&self, v: NodeId) -> Option<NodeId> {
+        if v == self.root {
+            return None;
+        }
+        let path = self.path_to(v)?;
+        Some(path[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbh_topo::graph::Graph;
+
+    /// S --1--> A --2--> B, plus a direct S--9--B link.
+    fn diamondish() -> (Graph, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let s = g.add_router();
+        let a = g.add_router();
+        let b = g.add_router();
+        g.add_link(s, a, 1, 1);
+        g.add_link(a, b, 2, 2);
+        g.add_link(s, b, 9, 9);
+        (g, s, a, b)
+    }
+
+    #[test]
+    fn picks_cheapest_path() {
+        let (g, s, a, b) = diamondish();
+        let sp = shortest_paths(&g, s);
+        assert_eq!(sp.dist(b), Some(3));
+        assert_eq!(sp.path_to(b), Some(vec![s, a, b]));
+    }
+
+    #[test]
+    fn root_distance_is_zero_with_empty_first_hop() {
+        let (g, s, ..) = diamondish();
+        let sp = shortest_paths(&g, s);
+        assert_eq!(sp.dist(s), Some(0));
+        assert_eq!(sp.first_hop(s), None);
+        assert_eq!(sp.path_to(s), Some(vec![s]));
+    }
+
+    #[test]
+    fn first_hop_matches_path() {
+        let (g, s, a, b) = diamondish();
+        let sp = shortest_paths(&g, s);
+        assert_eq!(sp.first_hop(b), Some(a));
+        assert_eq!(sp.first_hop(a), Some(a));
+    }
+
+    #[test]
+    fn asymmetric_costs_give_asymmetric_distances() {
+        let mut g = Graph::new();
+        let a = g.add_router();
+        let b = g.add_router();
+        g.add_link(a, b, 2, 7);
+        assert_eq!(shortest_paths(&g, a).dist(b), Some(2));
+        assert_eq!(shortest_paths(&g, b).dist(a), Some(7));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut g = Graph::new();
+        let a = g.add_router();
+        let b = g.add_router();
+        let sp = shortest_paths(&g, a);
+        assert_eq!(sp.dist(b), None);
+        assert_eq!(sp.path_to(b), None);
+        assert_eq!(sp.first_hop(b), None);
+    }
+
+    #[test]
+    fn hosts_do_not_transit() {
+        // a — h — b where the host path would be cheap, plus an expensive
+        // router detour a — c — b. Traffic must take the detour.
+        let mut g = Graph::new();
+        let a = g.add_router();
+        let b = g.add_router();
+        let c = g.add_router();
+        let h = g.add_host(a, 1, 1);
+        // Fake second attachment exists only in scenario builders; emulate
+        // with a normal router link here: h cannot get one, so instead
+        // verify the plain property: a's shortest path to b ignores h.
+        g.add_link(a, c, 5, 5);
+        g.add_link(c, b, 5, 5);
+        let sp = shortest_paths(&g, a);
+        assert_eq!(sp.dist(b), Some(10));
+        assert_eq!(sp.path_to(b), Some(vec![a, c, b]));
+        assert_eq!(sp.dist(h), Some(1));
+    }
+
+    #[test]
+    fn host_as_root_can_emit() {
+        let mut g = Graph::new();
+        let a = g.add_router();
+        let b = g.add_router();
+        g.add_link(a, b, 3, 3);
+        let h = g.add_host(a, 2, 4);
+        let sp = shortest_paths(&g, h);
+        assert_eq!(sp.dist(b), Some(7)); // 4 (h→a) + 3 (a→b)
+        assert_eq!(sp.path_to(b), Some(vec![h, a, b]));
+    }
+
+    #[test]
+    fn dual_homed_host_does_not_open_a_shortcut() {
+        use hbh_topo::scenarios;
+        // In fig2, r1 attaches to both R2 and R3. A path S→R1→R3→r1→R2 must
+        // not exist for routing purposes.
+        let g = scenarios::fig2();
+        let s = g.node_by_label("S").unwrap();
+        let r2 = g.node_by_label("R2").unwrap();
+        let sp = shortest_paths(&g, s);
+        let path = sp.path_to(r2).unwrap();
+        assert!(
+            path.iter().all(|&n| !g.is_host(n) || n == s),
+            "path to R2 crosses a host: {path:?}"
+        );
+    }
+
+    #[test]
+    fn equal_cost_tie_breaks_to_smaller_predecessor() {
+        // s—a—t and s—b—t, all cost 1; a has the smaller id, so the path
+        // via a must win deterministically.
+        let mut g = Graph::new();
+        let s = g.add_router();
+        let a = g.add_router();
+        let b = g.add_router();
+        let t = g.add_router();
+        g.add_link(s, a, 1, 1);
+        g.add_link(s, b, 1, 1);
+        g.add_link(a, t, 1, 1);
+        g.add_link(b, t, 1, 1);
+        let sp = shortest_paths(&g, s);
+        assert_eq!(sp.path_to(t), Some(vec![s, a, t]));
+    }
+
+    #[test]
+    fn fig2_routes_match_paper() {
+        use hbh_topo::scenarios;
+        let g = scenarios::fig2();
+        let n = |l: &str| g.node_by_label(l).unwrap();
+        let (s, r1, r2, r3, r4) = (n("S"), n("R1"), n("R2"), n("R3"), n("R4"));
+        let (rx1, rx2, rx3) = (n("r1"), n("r2"), n("r3"));
+
+        // Downstream routes.
+        let from_s = shortest_paths(&g, s);
+        assert_eq!(from_s.path_to(rx1), Some(vec![s, r1, r3, rx1]));
+        assert_eq!(from_s.path_to(rx2), Some(vec![s, r4, rx2]));
+        assert_eq!(from_s.path_to(rx3), Some(vec![s, r1, r3, rx3]));
+
+        // Upstream routes.
+        assert_eq!(shortest_paths(&g, rx1).path_to(s), Some(vec![rx1, r2, r1, s]));
+        assert_eq!(shortest_paths(&g, rx2).path_to(s), Some(vec![rx2, r3, r1, s]));
+        assert_eq!(shortest_paths(&g, rx3).path_to(s), Some(vec![rx3, r3, r1, s]));
+    }
+
+    #[test]
+    fn fig3_routes_match_paper() {
+        use hbh_topo::scenarios;
+        let g = scenarios::fig3();
+        let n = |l: &str| g.node_by_label(l).unwrap();
+        let from_s = shortest_paths(&g, n("S"));
+        assert_eq!(
+            from_s.path_to(n("r1")),
+            Some(vec![n("S"), n("R1"), n("R6"), n("R4"), n("r1")])
+        );
+        assert_eq!(
+            from_s.path_to(n("r2")),
+            Some(vec![n("S"), n("R1"), n("R6"), n("R5"), n("r2")])
+        );
+        assert_eq!(
+            shortest_paths(&g, n("r1")).path_to(n("S")),
+            Some(vec![n("r1"), n("R4"), n("R2"), n("R1"), n("S")])
+        );
+        assert_eq!(
+            shortest_paths(&g, n("r2")).path_to(n("S")),
+            Some(vec![n("r2"), n("R5"), n("R3"), n("R1"), n("S")])
+        );
+    }
+}

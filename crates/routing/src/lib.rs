@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # hbh-routing — the unicast routing substrate
+//!
+//! Every protocol in the HBH paper (HBH itself, REUNITE, PIM-SM, PIM-SS)
+//! rides on top of ordinary unicast routing: control messages are unicast
+//! hop-by-hop, and the recursive-unicast data plane forwards by unicast
+//! destination address. This crate computes that unicast routing layer
+//! ahead of time, exactly as NS-2's static routing does for the paper's
+//! simulations:
+//!
+//! * [`dijkstra`] — single-source shortest paths over the *directed* link
+//!   costs (hosts never transit);
+//! * [`tables::RoutingTables`] — all-pairs distances and next hops, the
+//!   forwarding state every simulated node consults;
+//! * [`paths`] — path extraction and shortest-path-tree construction
+//!   (forward SPT and reverse SPT — the two tree shapes whose difference
+//!   under asymmetric costs is the whole point of the paper);
+//! * [`asymmetry`] — measurements of how asymmetric the routing actually is
+//!   (the Paxson-style "fraction of asymmetric routes" statistic).
+//!
+//! Ties between equal-cost paths are broken deterministically (smallest
+//! node id wins), so a given topology + cost assignment always yields one
+//! reproducible routing.
+
+pub mod asymmetry;
+pub mod dijkstra;
+pub mod paths;
+pub mod qos;
+pub mod reference;
+pub mod tables;
+
+#[cfg(test)]
+mod proptests;
+
+pub use dijkstra::ShortestPaths;
+pub use tables::RoutingTables;

@@ -1,0 +1,114 @@
+//! Property-based tests for the routing substrate: metric laws that must
+//! hold on arbitrary connected graphs with arbitrary directed costs.
+
+use crate::reference::floyd_warshall;
+use crate::tables::RoutingTables;
+use hbh_topo::graph::{Graph, PathCost};
+use hbh_topo::{costs, random};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_graph(seed: u64, n: usize, degree_scale: u8) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let degree = 2.0 + f64::from(degree_scale % 4);
+    let mut g = random::gnp_with_avg_degree(n, degree.min((n - 1) as f64), &mut rng);
+    costs::assign_paper_costs(&mut g, &mut rng);
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Dijkstra-based tables agree with the Floyd–Warshall reference on
+    /// every pair.
+    #[test]
+    fn tables_match_reference(seed in 0u64..100_000, n in 4usize..16, d in 0u8..8) {
+        let g = arb_graph(seed, n, d);
+        let t = RoutingTables::compute(&g);
+        let fw = floyd_warshall(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                prop_assert_eq!(t.dist(u, v), fw[u.index()][v.index()]);
+            }
+        }
+    }
+
+    /// Distances obey the (directed) triangle inequality.
+    #[test]
+    fn triangle_inequality(seed in 0u64..100_000, n in 4usize..14, d in 0u8..8) {
+        let g = arb_graph(seed, n, d);
+        let t = RoutingTables::compute(&g);
+        let routers: Vec<_> = g.routers().collect();
+        for &a in &routers {
+            for &b in &routers {
+                for &c in &routers {
+                    if let (Some(ab), Some(bc), Some(ac)) =
+                        (t.dist(a, b), t.dist(b, c), t.dist(a, c))
+                    {
+                        prop_assert!(ac <= ab + bc,
+                            "d({a},{c}) = {ac} > {ab} + {bc} via {b}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Walking next-hops reproduces exactly the advertised distance, and
+    /// every step makes strict progress (no loops).
+    #[test]
+    fn next_hops_realize_distances(seed in 0u64..100_000, n in 4usize..16, d in 0u8..8) {
+        let g = arb_graph(seed, n, d);
+        let t = RoutingTables::compute(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let Some(path) = t.path(u, v) else { continue };
+                let total: PathCost = path
+                    .windows(2)
+                    .map(|w| PathCost::from(g.cost(w[0], w[1]).unwrap()))
+                    .sum();
+                prop_assert_eq!(Some(total), t.dist(u, v));
+                // Strictly decreasing remaining distance at every hop.
+                for w in path.windows(2) {
+                    prop_assert!(t.dist(w[1], v) < t.dist(w[0], v) || w[1] == v);
+                }
+            }
+        }
+    }
+
+    /// No shortest path transits a host.
+    #[test]
+    fn paths_never_transit_hosts(seed in 0u64..100_000, n in 4usize..16, d in 0u8..8) {
+        let g = arb_graph(seed, n, d);
+        let t = RoutingTables::compute(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if let Some(path) = t.path(u, v) {
+                    if path.len() > 2 {
+                        for &mid in &path[1..path.len() - 1] {
+                            prop_assert!(g.is_router(mid), "host {mid} in transit {u}→{v}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Distances are monotone under cost increase: raising one directed
+    /// link's cost never shortens any distance.
+    #[test]
+    fn monotone_under_cost_increase(seed in 0u64..100_000, n in 4usize..12) {
+        let mut g = arb_graph(seed, n, 1);
+        let before = RoutingTables::compute(&g);
+        let (a, b, ab, _) = g.undirected_links()[0];
+        g.set_cost(a, b, ab + 5);
+        let after = RoutingTables::compute(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if let (Some(x), Some(y)) = (before.dist(u, v), after.dist(u, v)) {
+                    prop_assert!(y >= x, "raising a cost shortened {u}→{v}: {x} → {y}");
+                }
+            }
+        }
+    }
+}

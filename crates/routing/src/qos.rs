@@ -1,0 +1,195 @@
+//! QoS-constrained unicast routing — the extension the paper names as
+//! future work ("to study the possibility of including QoS parameters
+//! inside HBH's tree construction", §5).
+//!
+//! The simplest deployable QoS model is bandwidth admission: a channel
+//! that needs `min_bw` units routes over the sub-topology whose directed
+//! links all offer at least that much. Because HBH forwards *every*
+//! packet (control and data) by forward-direction unicast lookup, running
+//! it over bandwidth-constrained tables makes the entire distribution
+//! tree QoS-compliant by construction. RPF protocols cannot inherit this:
+//! their joins can be constrained, but data then flows over the *reverse*
+//! directions of those links, whose bandwidth was never checked — the
+//! `qos` experiment measures exactly that gap.
+
+use crate::dijkstra::ShortestPaths;
+use crate::tables::RoutingTables;
+use hbh_topo::graph::{Bandwidth, Graph, NodeId, PathCost};
+
+/// Computes routing tables over the sub-topology of directed links with
+/// `bandwidth ≥ min_bw`. Reachability may shrink: pairs with no compliant
+/// path report `None` distances, and the caller decides whether that is
+/// admission failure or cause for re-dimensioning.
+pub fn constrained_tables(g: &Graph, min_bw: Bandwidth) -> RoutingTables {
+    // Filter into a shadow graph with identical node numbering: links
+    // below the floor are re-costed to effectively-infinite so they are
+    // never chosen but the structure (and LinkId space) stays identical.
+    // (A true removal would change nothing else: costs cap at 10 in every
+    // experiment, so the sentinel can never be part of a chosen path
+    // unless no compliant path exists at all.)
+    let mut shadow = g.clone();
+    let mut any_compliant = false;
+    for (l, _) in g.directed_links() {
+        let bw = g.bandwidth(l.from, l.to).expect("directed link exists");
+        if bw < min_bw {
+            shadow.set_cost(l.from, l.to, BLOCKED_COST);
+        } else {
+            any_compliant = true;
+        }
+    }
+    let _ = any_compliant;
+    RoutingTables::compute(&shadow)
+}
+
+/// Cost sentinel marking non-compliant links in the shadow graph. Any
+/// path using one is detectable by [`path_is_compliant`]'s bandwidth
+/// check, and [`admitted`] treats distances ≥ this as unreachable.
+pub const BLOCKED_COST: u32 = 1 << 20;
+
+/// True if `dst` is reachable from `src` without any non-compliant link.
+pub fn admitted(t: &RoutingTables, src: NodeId, dst: NodeId) -> bool {
+    matches!(t.dist(src, dst), Some(d) if d < PathCost::from(BLOCKED_COST))
+}
+
+/// Bottleneck bandwidth of a directed path (`None` for an empty path).
+pub fn bottleneck(g: &Graph, path: &[NodeId]) -> Option<Bandwidth> {
+    path.windows(2)
+        .map(|w| g.bandwidth(w[0], w[1]).expect("path follows real links"))
+        .min()
+}
+
+/// True if every directed link of `path` offers at least `min_bw`.
+pub fn path_is_compliant(g: &Graph, path: &[NodeId], min_bw: Bandwidth) -> bool {
+    bottleneck(g, path).map_or(false, |b| b >= min_bw)
+}
+
+/// Admission check for a whole channel: every receiver reachable over
+/// compliant links.
+pub fn channel_admitted(
+    t: &RoutingTables,
+    source: NodeId,
+    receivers: &[NodeId],
+) -> bool {
+    receivers.iter().all(|&r| admitted(t, source, r) && admitted(t, r, source))
+}
+
+/// Convenience: the constrained shortest path, if admitted.
+pub fn constrained_path(
+    t: &RoutingTables,
+    src: NodeId,
+    dst: NodeId,
+) -> Option<Vec<NodeId>> {
+    admitted(t, src, dst).then(|| t.path(src, dst)).flatten()
+}
+
+/// Re-exported for callers that only need one root.
+pub fn constrained_spf(g: &Graph, root: NodeId, min_bw: Bandwidth) -> ShortestPaths {
+    let mut shadow = g.clone();
+    for (l, _) in g.directed_links() {
+        if g.bandwidth(l.from, l.to).unwrap() < min_bw {
+            shadow.set_cost(l.from, l.to, BLOCKED_COST);
+        }
+    }
+    crate::dijkstra::shortest_paths(&shadow, root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbh_topo::costs;
+    use hbh_topo::graph::Graph;
+    use hbh_topo::isp::isp_topology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// s — a — b with a thin a→b direction and a fat detour a — c — b.
+    fn thin_link() -> (Graph, NodeId, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let a = g.add_router();
+        let b = g.add_router();
+        let c = g.add_router();
+        g.add_link(a, b, 1, 1);
+        g.add_link(a, c, 2, 2);
+        g.add_link(c, b, 2, 2);
+        g.set_bandwidth(a, b, 1); // thin forward direction only
+        let s = g.add_host(a, 1, 1);
+        (g, a, b, c, s)
+    }
+
+    #[test]
+    fn constrained_routing_takes_the_fat_detour() {
+        let (g, a, b, c, _) = thin_link();
+        let unconstrained = RoutingTables::compute(&g);
+        assert_eq!(unconstrained.path(a, b), Some(vec![a, b]));
+        let t = constrained_tables(&g, 5);
+        assert_eq!(t.path(a, b), Some(vec![a, c, b]), "thin link avoided");
+        assert!(admitted(&t, a, b));
+        // The reverse direction b→a is fat: still direct.
+        assert_eq!(t.path(b, a), Some(vec![b, a]));
+    }
+
+    #[test]
+    fn unreachable_under_constraint_is_not_admitted() {
+        let mut g = Graph::new();
+        let a = g.add_router();
+        let b = g.add_router();
+        g.add_link(a, b, 1, 1);
+        g.set_bandwidth(a, b, 1);
+        g.set_bandwidth(b, a, 1);
+        let t = constrained_tables(&g, 5);
+        assert!(!admitted(&t, a, b));
+        assert!(!channel_admitted(&t, a, &[b]));
+        assert_eq!(constrained_path(&t, a, b), None);
+    }
+
+    #[test]
+    fn bottleneck_and_compliance() {
+        let (g, a, b, c, _) = thin_link();
+        assert_eq!(bottleneck(&g, &[a, b]), Some(1));
+        assert_eq!(bottleneck(&g, &[a, c, b]), Some(u32::MAX));
+        assert!(!path_is_compliant(&g, &[a, b], 5));
+        assert!(path_is_compliant(&g, &[a, c, b], 5));
+        assert_eq!(bottleneck(&g, &[a]), None);
+    }
+
+    #[test]
+    fn compliant_paths_really_avoid_thin_links_on_isp() {
+        let mut g = isp_topology();
+        let mut rng = StdRng::seed_from_u64(4);
+        costs::assign_paper_costs(&mut g, &mut rng);
+        costs::assign_bandwidths(&mut g, 1, 10, &mut rng);
+        let min_bw = 4;
+        let t = constrained_tables(&g, min_bw);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if u == v || !admitted(&t, u, v) {
+                    continue;
+                }
+                let path = t.path(u, v).unwrap();
+                assert!(
+                    path_is_compliant(&g, &path, min_bw),
+                    "admitted path {u}→{v} crosses a thin link"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constraint_never_shortens_distances() {
+        let mut g = isp_topology();
+        let mut rng = StdRng::seed_from_u64(5);
+        costs::assign_paper_costs(&mut g, &mut rng);
+        costs::assign_bandwidths(&mut g, 1, 10, &mut rng);
+        let free = RoutingTables::compute(&g);
+        let t = constrained_tables(&g, 5);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if let (Some(a), Some(b)) = (free.dist(u, v), t.dist(u, v)) {
+                    if b < PathCost::from(BLOCKED_COST) {
+                        assert!(b >= a, "constraint shortened {u}→{v}");
+                    }
+                }
+            }
+        }
+    }
+}

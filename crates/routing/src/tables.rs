@@ -1,0 +1,216 @@
+//! All-pairs forwarding tables.
+//!
+//! [`RoutingTables`] is the unicast forwarding state every simulated node
+//! consults: `next_hop(at, dst)` answers "which neighbor does a packet for
+//! `dst` leave through?". It is computed once per cost assignment by
+//! running [`crate::dijkstra`] from every node — NS-2's static routing does
+//! the same before the simulation starts.
+
+use crate::dijkstra::{shortest_paths, ShortestPaths};
+use hbh_topo::graph::{Graph, NodeId, PathCost};
+
+/// Precomputed all-pairs routing: distances and next hops.
+///
+/// ```
+/// use hbh_topo::graph::Graph;
+/// use hbh_routing::RoutingTables;
+///
+/// let mut g = Graph::new();
+/// let a = g.add_router();
+/// let b = g.add_router();
+/// let c = g.add_router();
+/// g.add_link(a, b, 1, 9);
+/// g.add_link(b, c, 1, 9);
+/// g.add_link(a, c, 5, 5); // direct but pricier than a→b→c
+///
+/// let t = RoutingTables::compute(&g);
+/// assert_eq!(t.dist(a, c), Some(2));
+/// assert_eq!(t.path(a, c), Some(vec![a, b, c]));
+/// // The reverse direction is asymmetric: the direct link wins.
+/// assert_eq!(t.path(c, a), Some(vec![c, a]));
+/// ```
+#[derive(Clone, Debug)]
+pub struct RoutingTables {
+    n: usize,
+    /// `dist[u * n + v]`, `u64::MAX` when unreachable.
+    dist: Vec<PathCost>,
+    /// `next[u * n + v]` = neighbor of `u` on the shortest `u → v` path.
+    next: Vec<Option<NodeId>>,
+}
+
+impl RoutingTables {
+    /// Builds the tables for the current costs of `g`.
+    pub fn compute(g: &Graph) -> Self {
+        let n = g.node_count();
+        let mut dist = vec![PathCost::MAX; n * n];
+        let mut next = vec![None; n * n];
+        for u in g.nodes() {
+            let sp = shortest_paths(g, u);
+            fill_row(&sp, g, u, &mut dist[u.index() * n..], &mut next[u.index() * n..]);
+        }
+        RoutingTables { n, dist, next }
+    }
+
+    /// Number of nodes the tables were built for.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Cost of the shortest `from → to` path.
+    pub fn dist(&self, from: NodeId, to: NodeId) -> Option<PathCost> {
+        match self.dist[from.index() * self.n + to.index()] {
+            PathCost::MAX => None,
+            d => Some(d),
+        }
+    }
+
+    /// The neighbor of `at` that a packet destined to `dst` leaves through.
+    /// `None` if `at == dst` or `dst` is unreachable.
+    pub fn next_hop(&self, at: NodeId, dst: NodeId) -> Option<NodeId> {
+        self.next[at.index() * self.n + dst.index()]
+    }
+
+    /// The full unicast path `from → … → to` (inclusive), walked from the
+    /// next-hop tables exactly like a real packet would be forwarded.
+    pub fn path(&self, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+        self.dist(from, to)?;
+        let mut path = vec![from];
+        let mut cur = from;
+        while cur != to {
+            cur = self.next_hop(cur, to)?;
+            path.push(cur);
+            assert!(path.len() <= self.n, "routing loop from {from} to {to}");
+        }
+        Some(path)
+    }
+}
+
+/// Derives per-destination next hops from one Dijkstra run: the first hop
+/// of `u → v` is the first hop of `u → pred(v)` unless `pred(v) = u`.
+fn fill_row(
+    sp: &ShortestPaths,
+    g: &Graph,
+    u: NodeId,
+    dist_row: &mut [PathCost],
+    next_row: &mut [Option<NodeId>],
+) {
+    // Process in order of increasing distance so a node's predecessor is
+    // always resolved before the node itself. Collect & sort: n is small
+    // (≤ 100 in all experiments).
+    let mut order: Vec<NodeId> = g.nodes().filter(|&v| sp.dist(v).is_some()).collect();
+    order.sort_by_key(|&v| (sp.dist(v).unwrap(), v));
+    for v in order {
+        dist_row[v.index()] = sp.dist(v).unwrap();
+        if v == u {
+            continue;
+        }
+        let p = sp.pred(v).expect("reachable non-root has a predecessor");
+        next_row[v.index()] = if p == u { Some(v) } else { next_row[p.index()] };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbh_topo::costs;
+    use hbh_topo::graph::Graph;
+    use hbh_topo::isp::isp_topology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn line() -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let nodes: Vec<NodeId> = (0..4).map(|_| g.add_router()).collect();
+        g.add_link(nodes[0], nodes[1], 1, 2);
+        g.add_link(nodes[1], nodes[2], 3, 4);
+        g.add_link(nodes[2], nodes[3], 5, 6);
+        (g, nodes)
+    }
+
+    #[test]
+    fn next_hop_walks_the_line() {
+        let (g, n) = line();
+        let t = RoutingTables::compute(&g);
+        assert_eq!(t.next_hop(n[0], n[3]), Some(n[1]));
+        assert_eq!(t.next_hop(n[1], n[3]), Some(n[2]));
+        assert_eq!(t.next_hop(n[2], n[3]), Some(n[3]));
+        assert_eq!(t.next_hop(n[3], n[3]), None);
+    }
+
+    #[test]
+    fn distances_are_directional() {
+        let (g, n) = line();
+        let t = RoutingTables::compute(&g);
+        assert_eq!(t.dist(n[0], n[3]), Some(1 + 3 + 5));
+        assert_eq!(t.dist(n[3], n[0]), Some(6 + 4 + 2));
+    }
+
+    #[test]
+    fn path_reconstruction_matches_next_hops() {
+        let (g, n) = line();
+        let t = RoutingTables::compute(&g);
+        assert_eq!(t.path(n[0], n[3]), Some(vec![n[0], n[1], n[2], n[3]]));
+        assert_eq!(t.path(n[2], n[2]), Some(vec![n[2]]));
+    }
+
+    #[test]
+    fn unreachable_pairs_are_none() {
+        let mut g = Graph::new();
+        let a = g.add_router();
+        let b = g.add_router();
+        let t = RoutingTables::compute(&g);
+        assert_eq!(t.dist(a, b), None);
+        assert_eq!(t.next_hop(a, b), None);
+        assert_eq!(t.path(a, b), None);
+    }
+
+    #[test]
+    fn tables_agree_with_dijkstra_on_isp() {
+        let mut g = isp_topology();
+        costs::assign_paper_costs(&mut g, &mut StdRng::seed_from_u64(11));
+        let t = RoutingTables::compute(&g);
+        for u in g.nodes() {
+            let sp = crate::dijkstra::shortest_paths(&g, u);
+            for v in g.nodes() {
+                assert_eq!(t.dist(u, v), sp.dist(v), "dist {u}->{v}");
+                if u != v {
+                    assert_eq!(
+                        t.path(u, v),
+                        sp.path_to(v),
+                        "path {u}->{v} diverges from Dijkstra"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_costs_sum_to_table_distance() {
+        let mut g = isp_topology();
+        costs::assign_paper_costs(&mut g, &mut StdRng::seed_from_u64(3));
+        let t = RoutingTables::compute(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if u == v {
+                    continue;
+                }
+                let path = t.path(u, v).expect("ISP topology is connected");
+                let sum: PathCost = path
+                    .windows(2)
+                    .map(|w| PathCost::from(g.cost(w[0], w[1]).unwrap()))
+                    .sum();
+                assert_eq!(Some(sum), t.dist(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn recompute_after_cost_change_shifts_routes() {
+        let (mut g, n) = line();
+        let before = RoutingTables::compute(&g);
+        assert_eq!(before.dist(n[0], n[1]), Some(1));
+        g.set_cost(n[0], n[1], 9);
+        let after = RoutingTables::compute(&g);
+        assert_eq!(after.dist(n[0], n[1]), Some(9));
+    }
+}

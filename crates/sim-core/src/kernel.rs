@@ -1,0 +1,789 @@
+//! The event kernel: a binary-heap scheduler dispatching packet arrivals,
+//! timer expiries, and experiment commands to a [`Protocol`] implementation.
+//!
+//! ## Dispatch rules
+//!
+//! For a packet arriving at node `n`:
+//!
+//! * `n` runs the protocol (multicast-capable router, or any host): the
+//!   protocol's [`Protocol::on_packet`] sees the packet — whether or not it
+//!   is addressed to `n`. Observing transit packets is how join
+//!   interception and data branching work in HBH/REUNITE. Exception: a
+//!   *host* that is not the packet's destination never sees it (hosts do
+//!   not transit; such an arrival is a misrouting and is counted as a
+//!   drop).
+//! * `n` is a unicast-only router: the kernel forwards the packet toward
+//!   its destination itself — the transparent-unicast-cloud behaviour the
+//!   protocols are designed around. A packet *addressed* to a unicast-only
+//!   router is dropped (protocols must never do that; the drop counter
+//!   makes such bugs visible).
+//!
+//! Timers are keyed per `(node, timer-value)`; re-arming replaces the
+//! previous instance and cancellation is exact (ids are globally unique, so
+//! a stale heap entry can never fire).
+
+use crate::network::Network;
+use crate::packet::Packet;
+use crate::stats::{Delivery, Stats};
+use crate::time::Time;
+use crate::trace::{Trace, TraceKind};
+use hbh_topo::graph::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A multicast routing protocol (plus its host agents), as seen by the
+/// kernel: per-node state and three event handlers.
+///
+/// Handlers receive `&self` (protocol-wide immutable configuration such as
+/// refresh periods and timer durations), the node's own mutable state, and
+/// a [`Ctx`] for actions. Keeping handlers free of access to *other*
+/// nodes' state is what makes the simulation faithful: nodes can only
+/// communicate through packets.
+pub trait Protocol: Sized {
+    /// Wire payload carried by packets.
+    type Msg: Clone + Debug;
+    /// Timer identity at a node (e.g. "refresh join for channel c").
+    type Timer: Clone + Eq + Hash + Debug;
+    /// Experiment-injected command (join/leave/send-data).
+    type Command: Clone + Debug;
+    /// Per-node protocol state (router tables and/or host agent state).
+    type NodeState: Default;
+
+    /// A packet arrived at `ctx.node`.
+    fn on_packet(
+        &self,
+        state: &mut Self::NodeState,
+        pkt: Packet<Self::Msg>,
+        ctx: &mut Ctx<'_, Self::Msg, Self::Timer>,
+    );
+
+    /// A previously armed timer fired at `ctx.node`.
+    fn on_timer(
+        &self,
+        state: &mut Self::NodeState,
+        timer: Self::Timer,
+        ctx: &mut Ctx<'_, Self::Msg, Self::Timer>,
+    );
+
+    /// An experiment command addressed to `ctx.node` (e.g. "join channel").
+    fn on_command(
+        &self,
+        state: &mut Self::NodeState,
+        cmd: Self::Command,
+        ctx: &mut Ctx<'_, Self::Msg, Self::Timer>,
+    );
+}
+
+/// Why the kernel dropped a packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // every variant is documented below or self-named
+pub enum DropReason {
+    /// TTL reached zero in transit (forwarding loop guard).
+    TtlExpired,
+    /// No unicast route to the destination.
+    NoRoute,
+    /// Arrived at a host that is not its destination.
+    MisroutedToHost,
+    /// Addressed to a unicast-only router.
+    AddressedToUnicastRouter,
+    /// Dropped by the configured loss model (failure injection).
+    InjectedLoss,
+}
+
+/// Failure-injection model: every link transmission is independently
+/// dropped with the per-class probability. Driven by the kernel's seeded
+/// RNG, so lossy runs are exactly reproducible.
+///
+/// Soft-state protocols are designed to ride out control loss (the next
+/// refresh repairs the state); the loss-injection tests verify that HBH,
+/// REUNITE and PIM all converge and deliver under heavy control-plane
+/// loss.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LossModel {
+    /// Drop probability for control packets, in `[0, 1]`.
+    pub control: f64,
+    /// Drop probability for data packets, in `[0, 1]`.
+    pub data: f64,
+}
+
+impl LossModel {
+    /// Loss on control packets only (the soft-state robustness tests).
+    pub fn control_only(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        LossModel { control: p, data: 0.0 }
+    }
+
+    fn prob_for(&self, class: crate::packet::PacketClass) -> f64 {
+        match class {
+            crate::packet::PacketClass::Control => self.control,
+            crate::packet::PacketClass::Data => self.data,
+        }
+    }
+}
+
+enum EventKind<M, T, C> {
+    Arrive { node: NodeId, pkt: Packet<M> },
+    Timer { node: NodeId, timer: T, id: u64 },
+    Command { node: NodeId, cmd: C },
+}
+
+struct Scheduled<M, T, C> {
+    at: Time,
+    seq: u64,
+    kind: EventKind<M, T, C>,
+}
+
+impl<M, T, C> PartialEq for Scheduled<M, T, C> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M, T, C> Eq for Scheduled<M, T, C> {}
+impl<M, T, C> PartialOrd for Scheduled<M, T, C> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M, T, C> Ord for Scheduled<M, T, C> {
+    /// Reversed so the `BinaryHeap` (a max-heap) pops the *earliest* event;
+    /// ties break in scheduling order for determinism.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Kernel internals shared with protocol handlers through [`Ctx`].
+struct Core<M, T, C> {
+    net: Network,
+    queue: BinaryHeap<Scheduled<M, T, C>>,
+    now: Time,
+    seq: u64,
+    timer_ids: HashMap<(NodeId, T), u64>,
+    stats: Stats,
+    rng: StdRng,
+    trace: Trace<M>,
+    loss: LossModel,
+}
+
+impl<M: Clone + Debug, T: Clone + Eq + Hash + Debug, C: Clone + Debug> Core<M, T, C> {
+    fn push(&mut self, at: Time, kind: EventKind<M, T, C>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, kind });
+    }
+
+    fn drop_packet(&mut self, node: NodeId, pkt: &Packet<M>, reason: DropReason) {
+        self.stats.drops += 1;
+        self.trace.record(self.now, node, TraceKind::Dropped { pkt: pkt.clone(), reason });
+    }
+
+    /// Puts `pkt` on the wire at `from`, headed for `pkt.dst` via the
+    /// unicast next hop. Counts the link transit and schedules the arrival.
+    fn transmit(&mut self, from: NodeId, pkt: Packet<M>) {
+        if pkt.dst == from {
+            // Local loopback: deliver to self without touching a link.
+            self.trace.record(self.now, from, TraceKind::Loopback { pkt: pkt.clone() });
+            self.push(self.now, EventKind::Arrive { node: from, pkt });
+            return;
+        }
+        let Some(next) = self.net.next_hop(from, pkt.dst) else {
+            self.drop_packet(from, &pkt, DropReason::NoRoute);
+            return;
+        };
+        self.put_on_link(from, next, pkt);
+    }
+
+    /// Common tail of routed and link-local transmission: loss injection,
+    /// accounting, arrival scheduling.
+    fn put_on_link(&mut self, from: NodeId, next: NodeId, pkt: Packet<M>) {
+        if self.lose(pkt.class) {
+            // The copy is counted as transmitted (it did occupy the link)
+            // and then lost.
+            self.stats.count_transit(from, next, pkt.class, pkt.tag);
+            self.drop_packet(from, &pkt, DropReason::InjectedLoss);
+            return;
+        }
+        let cost = self.net.link_cost(from, next);
+        self.stats.count_transit(from, next, pkt.class, pkt.tag);
+        self.trace.record(self.now, from, TraceKind::Sent { to: next, pkt: pkt.clone() });
+        self.push(self.now + u64::from(cost), EventKind::Arrive { node: next, pkt });
+    }
+
+    fn lose(&mut self, class: crate::packet::PacketClass) -> bool {
+        let p = self.loss.prob_for(class);
+        p > 0.0 && rand::RngExt::random::<f64>(&mut self.rng) < p
+    }
+
+    fn forward(&mut self, at: NodeId, mut pkt: Packet<M>) {
+        if pkt.ttl == 0 {
+            self.drop_packet(at, &pkt, DropReason::TtlExpired);
+            return;
+        }
+        pkt.ttl -= 1;
+        self.transmit(at, pkt);
+    }
+
+    /// Link-local transmission: puts `pkt` directly on the link
+    /// `from → via`, bypassing unicast routing. This models
+    /// interface-directed forwarding (PIM's per-oif replication).
+    ///
+    /// Panics if no such link exists — per-oif state always points at a
+    /// direct neighbor, so a violation is a protocol bug.
+    fn transmit_link(&mut self, from: NodeId, via: NodeId, pkt: Packet<M>) {
+        let _ = self.net.link_cost(from, via); // assert the link exists
+        self.put_on_link(from, via, pkt);
+    }
+}
+
+/// Handler-side view of the kernel: the current node, the clock, the RNG,
+/// routing lookups, and the action API (send / forward / deliver / timers).
+pub struct Ctx<'a, M, T> {
+    /// The node the current event fired at.
+    pub node: NodeId,
+    core: &'a mut dyn KernelOps<M, T>,
+}
+
+impl<'a, M, T> Ctx<'a, M, T> {
+    /// Builds a handler context over any [`KernelOps`] backend. The
+    /// simulation kernel uses this internally; alternative runtimes (e.g.
+    /// the UDP-backed `hbh-live`) use it to drive the same protocol code.
+    pub fn from_ops(node: NodeId, core: &'a mut dyn KernelOps<M, T>) -> Self {
+        Ctx { node, core }
+    }
+}
+
+/// The capability surface protocol handlers run against, object-safe.
+///
+/// The simulation kernel's [`Core`] is the canonical implementation, but
+/// the trait is public so the *same protocol engines* can run over other
+/// backends — `hbh-live` implements it with real UDP sockets and
+/// wall-clock timers. Implementors provide: a clock, a routing view, an
+/// RNG, transmission (routed, link-local, and transit forwarding),
+/// application delivery, keyed timers, and bookkeeping hooks.
+pub trait KernelOps<M, T> {
+    /// Current time (simulated or wall-clock-derived).
+    fn now(&self) -> Time;
+    /// The frozen topology + unicast routing view.
+    fn net(&self) -> &Network;
+    /// Seeded RNG for protocol-side randomness.
+    fn rng(&mut self) -> &mut StdRng;
+    /// Originates `pkt` at `from`, routed toward `pkt.dst`.
+    fn send(&mut self, from: NodeId, pkt: Packet<M>);
+    /// Transmits directly on the link `from → via` (no routing).
+    fn send_link(&mut self, from: NodeId, via: NodeId, pkt: Packet<M>);
+    /// Forwards a transit packet one hop (TTL-decrementing).
+    fn forward(&mut self, from: NodeId, pkt: Packet<M>);
+    /// Records an application-level delivery at `node`.
+    fn deliver(&mut self, node: NodeId, pkt_tag: u64, injected_at: Time);
+    /// Arms (or re-arms, superseding) a keyed timer at `node`.
+    fn set_timer(&mut self, node: NodeId, timer: T, delay: u64);
+    /// Cancels a pending timer (no-op if not armed).
+    fn cancel_timer(&mut self, node: NodeId, timer: &T);
+    /// Notes a structural protocol-state change (churn accounting).
+    fn structural_change(&mut self);
+    /// Appends a free-form trace annotation.
+    fn trace_note(&mut self, node: NodeId, note: String);
+}
+
+impl<M: Clone + Debug, T: Clone + Eq + Hash + Debug, C: Clone + Debug> KernelOps<M, T>
+    for Core<M, T, C>
+{
+    fn now(&self) -> Time {
+        self.now
+    }
+    fn net(&self) -> &Network {
+        &self.net
+    }
+    fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+    fn send(&mut self, from: NodeId, pkt: Packet<M>) {
+        self.transmit(from, pkt);
+    }
+    fn send_link(&mut self, from: NodeId, via: NodeId, pkt: Packet<M>) {
+        self.transmit_link(from, via, pkt);
+    }
+    fn forward(&mut self, from: NodeId, pkt: Packet<M>) {
+        Core::forward(self, from, pkt);
+    }
+    fn deliver(&mut self, node: NodeId, tag: u64, injected_at: Time) {
+        self.trace.record(self.now, node, TraceKind::Delivered { tag });
+        self.stats.deliveries.push(Delivery { node, at: self.now, tag, injected_at });
+    }
+    fn set_timer(&mut self, node: NodeId, timer: T, delay: u64) {
+        let id = self.seq; // globally unique, monotonic
+        self.timer_ids.insert((node, timer.clone()), id);
+        self.push(self.now + delay, EventKind::Timer { node, timer, id });
+    }
+    fn cancel_timer(&mut self, node: NodeId, timer: &T) {
+        self.timer_ids.remove(&(node, timer.clone()));
+    }
+    fn structural_change(&mut self) {
+        let now = self.now;
+        self.stats.note_structural_change(now);
+    }
+    fn trace_note(&mut self, node: NodeId, note: String) {
+        self.trace.record(self.now, node, TraceKind::Note(note));
+    }
+}
+
+impl<'a, M, T> Ctx<'a, M, T> {
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.core.now()
+    }
+
+    /// The frozen network (topology + unicast routing).
+    pub fn net(&self) -> &Network {
+        self.core.net()
+    }
+
+    /// The kernel's seeded RNG (e.g. for timer jitter).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.core.rng()
+    }
+
+    /// Originates `pkt` at this node (fresh TTL assumed already set).
+    pub fn send(&mut self, pkt: Packet<M>) {
+        self.core.send(self.node, pkt);
+    }
+
+    /// Transmits `pkt` directly on the link to the neighbor `via`,
+    /// bypassing unicast routing (interface-directed forwarding, used by
+    /// PIM's per-oif replication). Panics if `via` is not a neighbor.
+    pub fn send_link(&mut self, via: NodeId, pkt: Packet<M>) {
+        self.core.send_link(self.node, via, pkt);
+    }
+
+    /// Forwards a transit packet one hop toward its destination,
+    /// decrementing the TTL.
+    pub fn forward(&mut self, pkt: Packet<M>) {
+        self.core.forward(self.node, pkt);
+    }
+
+    /// Records an application-level delivery of (a copy of) probe
+    /// `pkt.tag` at this node.
+    pub fn deliver(&mut self, pkt: &Packet<M>) {
+        self.core.deliver(self.node, pkt.tag, pkt.injected_at);
+    }
+
+    /// Arms (or re-arms) a timer at this node. An earlier pending instance
+    /// of the same timer is superseded.
+    pub fn set_timer(&mut self, timer: T, delay: u64) {
+        self.core.set_timer(self.node, timer, delay);
+    }
+
+    /// Cancels a pending timer (no-op if not armed).
+    pub fn cancel_timer(&mut self, timer: &T) {
+        self.core.cancel_timer(self.node, timer);
+    }
+
+    /// Notes a structural state change (table entry added/removed, flag
+    /// flipped) for churn accounting and quiescence detection.
+    pub fn structural_change(&mut self) {
+        self.core.structural_change();
+    }
+
+    /// Appends a free-form note to the trace (no-op unless tracing is on).
+    pub fn trace(&mut self, note: impl FnOnce() -> String) {
+        // Cheap check happens inside Trace; building the string is the
+        // expensive part, so only do it when a sink exists.
+        self.core.trace_note(self.node, note());
+    }
+}
+
+/// The simulator: a [`Network`], one [`Protocol`], per-node states, and the
+/// event queue.
+pub struct Kernel<P: Protocol> {
+    proto: P,
+    states: Vec<P::NodeState>,
+    core: Core<P::Msg, P::Timer, P::Command>,
+}
+
+impl<P: Protocol> Kernel<P> {
+    /// Creates a kernel over `net` with every node's state defaulted and
+    /// the RNG seeded from `seed`.
+    pub fn new(net: Network, proto: P, seed: u64) -> Self {
+        let n = net.node_count();
+        Kernel {
+            proto,
+            states: (0..n).map(|_| P::NodeState::default()).collect(),
+            core: Core {
+                net,
+                queue: BinaryHeap::new(),
+                now: Time::ZERO,
+                seq: 0,
+                timer_ids: HashMap::new(),
+                stats: Stats::default(),
+                rng: StdRng::seed_from_u64(seed),
+                trace: Trace::disabled(),
+                loss: LossModel::default(),
+            },
+        }
+    }
+
+    /// Configures failure injection (default: lossless).
+    pub fn set_loss(&mut self, loss: LossModel) {
+        assert!((0.0..=1.0).contains(&loss.control) && (0.0..=1.0).contains(&loss.data));
+        self.core.loss = loss;
+    }
+
+    /// Turns on event tracing (drains via [`Kernel::take_trace`]).
+    pub fn enable_trace(&mut self) {
+        self.core.trace = Trace::enabled();
+    }
+
+    /// Drains collected trace records.
+    pub fn take_trace(&mut self) -> Vec<crate::trace::TraceRecord<P::Msg>> {
+        self.core.trace.take()
+    }
+
+    /// Schedules an experiment command at `node` for absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past.
+    pub fn command_at(&mut self, node: NodeId, cmd: P::Command, at: Time) {
+        assert!(at >= self.core.now, "command scheduled in the past");
+        self.core.push(at, EventKind::Command { node, cmd });
+    }
+
+    /// Processes every event up to and including `until`, then advances the
+    /// clock to `until`.
+    pub fn run_until(&mut self, until: Time) {
+        while let Some(head) = self.core.queue.peek() {
+            if head.at > until {
+                break;
+            }
+            self.step();
+        }
+        self.core.now = self.core.now.max(until);
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn peek_next(&self) -> Option<Time> {
+        self.core.queue.peek().map(|s| s.at)
+    }
+
+    /// Pops and dispatches one event. Returns `false` if the queue was
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Scheduled { at, kind, .. }) = self.core.queue.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.core.now, "event from the past");
+        self.core.now = at;
+        match kind {
+            EventKind::Arrive { node, pkt } => self.dispatch_arrival(node, pkt),
+            EventKind::Timer { node, timer, id } => {
+                // Fire only the newest instance; stale heap entries are
+                // ignored, cancelled ones find no map entry.
+                if self.core.timer_ids.get(&(node, timer.clone())) == Some(&id) {
+                    self.core.timer_ids.remove(&(node, timer.clone()));
+                    let mut ctx = Ctx { node, core: &mut self.core };
+                    self.proto.on_timer(&mut self.states[node.index()], timer, &mut ctx);
+                }
+            }
+            EventKind::Command { node, cmd } => {
+                let mut ctx = Ctx { node, core: &mut self.core };
+                self.proto.on_command(&mut self.states[node.index()], cmd, &mut ctx);
+            }
+        }
+        true
+    }
+
+    fn dispatch_arrival(&mut self, node: NodeId, pkt: Packet<P::Msg>) {
+        let g = self.core.net.graph();
+        if g.is_host(node) && pkt.dst != node {
+            self.core.drop_packet(node, &pkt, DropReason::MisroutedToHost);
+            return;
+        }
+        if self.core.net.runs_protocol(node) {
+            let mut ctx = Ctx { node, core: &mut self.core };
+            self.proto.on_packet(&mut self.states[node.index()], pkt, &mut ctx);
+        } else if pkt.dst == node {
+            self.core.drop_packet(node, &pkt, DropReason::AddressedToUnicastRouter);
+        } else {
+            // Unicast-only router: plain IP forwarding, no protocol.
+            self.core.forward(node, pkt);
+        }
+    }
+
+    // --- accessors ----------------------------------------------------
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.core.now
+    }
+
+    /// The network this kernel runs over.
+    pub fn network(&self) -> &Network {
+        &self.core.net
+    }
+
+    /// Accounting: link copies, deliveries, drops, churn.
+    pub fn stats(&self) -> &Stats {
+        &self.core.stats
+    }
+
+    /// Mutable accounting access (e.g. to reset counters between probes).
+    pub fn stats_mut(&mut self) -> &mut Stats {
+        &mut self.core.stats
+    }
+
+    /// A node's protocol state (read).
+    pub fn state(&self, node: NodeId) -> &P::NodeState {
+        &self.states[node.index()]
+    }
+
+    /// A node's protocol state (write; test setup only).
+    pub fn state_mut(&mut self, node: NodeId) -> &mut P::NodeState {
+        &mut self.states[node.index()]
+    }
+
+    /// All node states, indexed by node id.
+    pub fn states(&self) -> &[P::NodeState] {
+        &self.states
+    }
+
+    /// The protocol configuration this kernel was built with.
+    pub fn protocol(&self) -> &P {
+        &self.proto
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hbh_topo::graph::Graph;
+
+    /// Minimal test protocol: hosts deliver data addressed to them; routers
+    /// forward everything; a `Ping` command originates a data packet; a
+    /// `Tick` timer re-arms itself once and counts via a state counter.
+    struct TestProto;
+
+    #[derive(Default)]
+    struct TestState {
+        ticks: u32,
+        seen: u32,
+    }
+
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    enum TestTimer {
+        Tick,
+    }
+
+    #[derive(Clone, Debug)]
+    enum TestCmd {
+        Ping { to: NodeId, tag: u64 },
+        Arm,
+    }
+
+    impl Protocol for TestProto {
+        type Msg = ();
+        type Timer = TestTimer;
+        type Command = TestCmd;
+        type NodeState = TestState;
+
+        fn on_packet(
+            &self,
+            state: &mut TestState,
+            pkt: Packet<()>,
+            ctx: &mut Ctx<'_, (), TestTimer>,
+        ) {
+            state.seen += 1;
+            if pkt.dst == ctx.node {
+                ctx.deliver(&pkt);
+            } else {
+                ctx.forward(pkt);
+            }
+        }
+
+        fn on_timer(
+            &self,
+            state: &mut TestState,
+            _timer: TestTimer,
+            ctx: &mut Ctx<'_, (), TestTimer>,
+        ) {
+            state.ticks += 1;
+            if state.ticks < 2 {
+                ctx.set_timer(TestTimer::Tick, 10);
+            }
+        }
+
+        fn on_command(
+            &self,
+            _state: &mut TestState,
+            cmd: TestCmd,
+            ctx: &mut Ctx<'_, (), TestTimer>,
+        ) {
+            match cmd {
+                TestCmd::Ping { to, tag } => {
+                    let pkt = Packet::data(ctx.node, to, tag, ctx.now(), ());
+                    ctx.send(pkt);
+                }
+                TestCmd::Arm => ctx.set_timer(TestTimer::Tick, 10),
+            }
+        }
+    }
+
+    /// h1 — a(2/2) — b(3/3) — h2, with a unicast-only router b variant.
+    fn line_net(b_capable: bool) -> (Network, NodeId, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let a = g.add_router();
+        let b = g.add_router();
+        g.add_link(a, b, 2, 2);
+        if !b_capable {
+            g.set_mcast_capable(b, false);
+        }
+        let h1 = g.add_host(a, 1, 1);
+        let h2 = g.add_host(b, 3, 3);
+        (Network::new(g), a, b, h1, h2)
+    }
+
+    fn kernel(b_capable: bool) -> (Kernel<TestProto>, NodeId, NodeId, NodeId, NodeId) {
+        let (net, a, b, h1, h2) = line_net(b_capable);
+        (Kernel::new(net, TestProto, 0), a, b, h1, h2)
+    }
+
+    #[test]
+    fn packet_delay_is_sum_of_link_costs() {
+        let (mut k, _, _, h1, h2) = kernel(true);
+        k.command_at(h1, TestCmd::Ping { to: h2, tag: 1 }, Time(5));
+        k.run_until(Time(100));
+        let d = &k.stats().deliveries;
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].node, h2);
+        // h1→a = 1, a→b = 2, b→h2 = 3, injected at t=5 ⇒ arrival t=11.
+        assert_eq!(d[0].at, Time(11));
+        assert_eq!(d[0].delay(), 6);
+    }
+
+    #[test]
+    fn transit_counting_per_link() {
+        let (mut k, a, b, h1, h2) = kernel(true);
+        k.command_at(h1, TestCmd::Ping { to: h2, tag: 9 }, Time::ZERO);
+        k.run_until(Time(100));
+        assert_eq!(k.stats().data_copies_tagged(9), 3);
+        let links = k.stats().data_copies_per_link(9);
+        assert_eq!(links[&(h1, a)], 1);
+        assert_eq!(links[&(a, b)], 1);
+        assert_eq!(links[&(b, h2)], 1);
+    }
+
+    #[test]
+    fn unicast_only_router_still_forwards() {
+        let (mut k, _, _, h1, h2) = kernel(false);
+        k.command_at(h1, TestCmd::Ping { to: h2, tag: 1 }, Time::ZERO);
+        k.run_until(Time(100));
+        assert_eq!(k.stats().deliveries.len(), 1);
+        // The protocol never saw the packet at b.
+        let (_, b) = (h1, NodeId(1));
+        assert_eq!(k.state(b).seen, 0);
+    }
+
+    #[test]
+    fn packet_addressed_to_unicast_only_router_is_dropped() {
+        let (mut k, _, b, h1, _) = kernel(false);
+        k.command_at(h1, TestCmd::Ping { to: b, tag: 1 }, Time::ZERO);
+        k.run_until(Time(100));
+        assert_eq!(k.stats().deliveries.len(), 0);
+        assert_eq!(k.stats().drops, 1);
+    }
+
+    #[test]
+    fn timer_rearm_and_counting() {
+        let (mut k, a, ..) = kernel(true);
+        k.command_at(a, TestCmd::Arm, Time::ZERO);
+        k.run_until(Time(100));
+        assert_eq!(k.state(a).ticks, 2); // fired at 10 and 20, then stopped
+        assert_eq!(k.now(), Time(100));
+    }
+
+    #[test]
+    fn rearming_supersedes_previous_instance() {
+        // Arm twice quickly: only the newest instance may fire.
+        let (mut k, a, ..) = kernel(true);
+        k.command_at(a, TestCmd::Arm, Time::ZERO);
+        k.command_at(a, TestCmd::Arm, Time(1));
+        k.run_until(Time(15));
+        // First instance (due t=10) is stale; second fires at t=11.
+        assert_eq!(k.state(a).ticks, 1);
+    }
+
+    #[test]
+    fn run_until_is_exact() {
+        let (mut k, a, ..) = kernel(true);
+        k.command_at(a, TestCmd::Arm, Time::ZERO);
+        k.run_until(Time(9));
+        assert_eq!(k.state(a).ticks, 0);
+        k.run_until(Time(10));
+        assert_eq!(k.state(a).ticks, 1);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_run() {
+        let run = || {
+            let (mut k, a, _, h1, h2) = kernel(true);
+            k.command_at(h1, TestCmd::Ping { to: h2, tag: 1 }, Time::ZERO);
+            k.command_at(a, TestCmd::Arm, Time::ZERO);
+            k.command_at(h2, TestCmd::Ping { to: h1, tag: 2 }, Time(3));
+            k.run_until(Time(200));
+            (
+                k.stats().deliveries.clone(),
+                k.stats().data_copies_tagged(1),
+                k.stats().data_copies_tagged(2),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn misrouted_to_host_is_dropped() {
+        // Craft a packet whose dst is unreachable-by-routing from the host:
+        // send to a host that is not the dst by targeting a disconnected id.
+        // Simpler: h1 pings h1's own router a — fine; instead check NoRoute
+        // by pinging a node with no path: build a disconnected net.
+        let mut g = Graph::new();
+        let a = g.add_router();
+        let b = g.add_router(); // no link to a
+        let h1 = g.add_host(a, 1, 1);
+        let net = Network::new(g);
+        let mut k: Kernel<TestProto> = Kernel::new(net, TestProto, 0);
+        k.command_at(h1, TestCmd::Ping { to: b, tag: 1 }, Time::ZERO);
+        k.run_until(Time(10));
+        assert_eq!(k.stats().drops, 1);
+    }
+
+    #[test]
+    fn loopback_send_to_self_arrives_locally() {
+        let (mut k, _, _, h1, _) = kernel(true);
+        k.command_at(h1, TestCmd::Ping { to: h1, tag: 4 }, Time::ZERO);
+        k.run_until(Time(10));
+        assert_eq!(k.stats().deliveries.len(), 1);
+        assert_eq!(k.stats().deliveries[0].at, Time(0));
+        assert_eq!(k.stats().data_copies_tagged(4), 0, "loopback touches no link");
+    }
+
+    #[test]
+    fn trace_records_sends_and_deliveries() {
+        let (mut k, _, _, h1, h2) = kernel(true);
+        k.enable_trace();
+        k.command_at(h1, TestCmd::Ping { to: h2, tag: 1 }, Time::ZERO);
+        k.run_until(Time(100));
+        let trace = k.take_trace();
+        assert!(trace.iter().any(|r| matches!(r.what, TraceKind::Sent { .. })));
+        assert!(trace.iter().any(|r| matches!(r.what, TraceKind::Delivered { tag: 1 })));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn past_commands_rejected() {
+        let (mut k, a, ..) = kernel(true);
+        k.run_until(Time(10));
+        k.command_at(a, TestCmd::Arm, Time(5));
+    }
+}

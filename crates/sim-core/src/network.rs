@@ -1,0 +1,125 @@
+//! The static network a simulation runs over: topology + precomputed
+//! unicast routing.
+//!
+//! Mirrors the paper's setup: costs are drawn, NS computes static unicast
+//! routes, and the multicast protocols then run on top of that fixed
+//! unicast substrate. (Unicast route *dynamics* are out of scope here as
+//! they are in the paper.)
+
+use hbh_routing::RoutingTables;
+use hbh_topo::graph::{Cost, Graph, NodeId, PathCost};
+
+/// Immutable topology + routing bundle shared by a simulation run.
+#[derive(Clone, Debug)]
+pub struct Network {
+    graph: Graph,
+    tables: RoutingTables,
+}
+
+impl Network {
+    /// Builds the routing tables for the graph's current costs and freezes
+    /// both.
+    pub fn new(graph: Graph) -> Self {
+        let tables = RoutingTables::compute(&graph);
+        Network { graph, tables }
+    }
+
+    /// Freezes the graph with externally computed tables (e.g.
+    /// bandwidth-constrained routing from `hbh-routing::qos`).
+    ///
+    /// # Panics
+    /// Panics if the tables were built for a different node count.
+    pub fn with_tables(graph: Graph, tables: RoutingTables) -> Self {
+        assert_eq!(graph.node_count(), tables.node_count(), "tables/graph mismatch");
+        Network { graph, tables }
+    }
+
+    /// The topology.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The all-pairs unicast routing tables.
+    pub fn tables(&self) -> &RoutingTables {
+        &self.tables
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Next hop of a packet at `at` destined to `dst`.
+    pub fn next_hop(&self, at: NodeId, dst: NodeId) -> Option<NodeId> {
+        self.tables.next_hop(at, dst)
+    }
+
+    /// Unicast distance (= minimal delay) `from → to`.
+    pub fn dist(&self, from: NodeId, to: NodeId) -> Option<PathCost> {
+        self.tables.dist(from, to)
+    }
+
+    /// Directed link cost, panicking on a nonexistent link (kernel-internal
+    /// transits always follow real links).
+    pub fn link_cost(&self, from: NodeId, to: NodeId) -> Cost {
+        self.graph
+            .cost(from, to)
+            .unwrap_or_else(|| panic!("no link {from}->{to}"))
+    }
+
+    /// Whether `n` participates in the multicast protocol (multicast-capable
+    /// router, or any host — hosts run the source/receiver agents).
+    pub fn runs_protocol(&self, n: NodeId) -> bool {
+        self.graph.is_host(n) || self.graph.is_mcast_capable(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> (Network, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let a = g.add_router();
+        let b = g.add_router();
+        g.add_link(a, b, 2, 3);
+        let h = g.add_host(a, 1, 1);
+        (Network::new(g), a, b, h)
+    }
+
+    #[test]
+    fn routing_is_frozen_at_construction() {
+        let (net, a, b, _) = net();
+        assert_eq!(net.dist(a, b), Some(2));
+        assert_eq!(net.dist(b, a), Some(3));
+        assert_eq!(net.next_hop(a, b), Some(b));
+    }
+
+    #[test]
+    fn link_cost_lookup() {
+        let (net, a, b, _) = net();
+        assert_eq!(net.link_cost(a, b), 2);
+        assert_eq!(net.link_cost(b, a), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no link")]
+    fn missing_link_panics() {
+        let (net, a, _, h) = net();
+        let _ = (a, net.link_cost(h, NodeId(1)));
+    }
+
+    #[test]
+    fn hosts_and_capable_routers_run_protocol() {
+        let mut g = Graph::new();
+        let a = g.add_router();
+        let b = g.add_router();
+        g.add_link(a, b, 1, 1);
+        g.set_mcast_capable(b, false);
+        let h = g.add_host(a, 1, 1);
+        let net = Network::new(g);
+        assert!(net.runs_protocol(a));
+        assert!(!net.runs_protocol(b), "unicast-only router");
+        assert!(net.runs_protocol(h), "hosts run agents");
+    }
+}

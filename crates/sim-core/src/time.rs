@@ -1,0 +1,87 @@
+//! Simulated time.
+//!
+//! One `Time` unit is one unit of link cost: the paper plots receiver delay
+//! in "time units" that are exactly accumulated link costs, so the
+//! simulator inherits that convention instead of inventing a second clock.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time (monotonic, starts at zero).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// The start of simulated time.
+    pub const ZERO: Time = Time(0);
+
+    /// Saturating difference `self − earlier` in time units.
+    pub fn since(self, earlier: Time) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for Time {
+    type Output = Time;
+    fn add(self, rhs: u64) -> Time {
+        Time(self.0.checked_add(rhs).expect("simulated time overflow"))
+    }
+}
+
+impl AddAssign<u64> for Time {
+    fn add_assign(&mut self, rhs: u64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = u64;
+    fn sub(self, rhs: Time) -> u64 {
+        self.0.checked_sub(rhs.0).expect("time went backwards")
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = Time(10);
+        assert_eq!(t + 5, Time(15));
+        assert_eq!(Time(15) - Time(10), 5);
+        assert_eq!(Time(15).since(Time(10)), 5);
+        assert_eq!(Time(10).since(Time(15)), 0);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Time(1) < Time(2));
+        assert_eq!(Time::ZERO, Time(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn backwards_subtraction_panics() {
+        let _ = Time(1) - Time(2);
+    }
+
+    #[test]
+    fn add_assign() {
+        let mut t = Time(1);
+        t += 2;
+        assert_eq!(t, Time(3));
+    }
+}

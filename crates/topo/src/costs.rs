@@ -1,0 +1,188 @@
+//! Link-cost assignment policies.
+//!
+//! The paper (§4.1): *"We associate two costs, c(n1, n2) and c(n2, n1), to
+//! link n1-n2. Each cost is an integer randomly chosen in the interval
+//! [1, 10]."* — i.e. the two directions of every link are drawn
+//! independently, which makes unicast shortest paths asymmetric with high
+//! probability. [`assign_uniform`] reproduces exactly that.
+//!
+//! [`assign_uniform_with_asymmetry`] adds the knob used by the asymmetry
+//! ablation (`DESIGN.md` A1): each link is symmetric (`c(v,u) = c(u,v)`)
+//! with probability `1 − a` and independently drawn with probability `a`,
+//! so `a = 0` gives a fully symmetric network and `a = 1` the paper's
+//! setting.
+
+use crate::graph::{Bandwidth, Cost, Graph};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// The paper's cost interval `[1, 10]`.
+pub const PAPER_COST_RANGE: (Cost, Cost) = (1, 10);
+
+/// Draws every directed half-link cost independently and uniformly from
+/// `[lo, hi]` (inclusive). This is the paper's assignment with
+/// `(lo, hi) = (1, 10)`.
+///
+/// Host access links are included: the paper's figures draw receivers as
+/// ordinary leaf nodes of the cost-annotated topology, and assigning them
+/// the same way affects all protocols identically.
+pub fn assign_uniform(g: &mut Graph, lo: Cost, hi: Cost, rng: &mut StdRng) {
+    assign_uniform_with_asymmetry(g, lo, hi, 1.0, rng);
+}
+
+/// Paper defaults: independent per-direction costs in `[1, 10]`.
+pub fn assign_paper_costs(g: &mut Graph, rng: &mut StdRng) {
+    assign_uniform(g, PAPER_COST_RANGE.0, PAPER_COST_RANGE.1, rng);
+}
+
+/// Cost assignment with an asymmetry-probability knob.
+///
+/// For every undirected link, `c(a→b)` is drawn from `U[lo, hi]`; then with
+/// probability `asymmetry` the reverse direction is drawn independently,
+/// otherwise it is set equal to the forward cost.
+///
+/// # Panics
+/// Panics unless `1 ≤ lo ≤ hi` and `0 ≤ asymmetry ≤ 1`.
+pub fn assign_uniform_with_asymmetry(
+    g: &mut Graph,
+    lo: Cost,
+    hi: Cost,
+    asymmetry: f64,
+    rng: &mut StdRng,
+) {
+    assert!(lo >= 1 && lo <= hi, "invalid cost range [{lo}, {hi}]");
+    assert!((0.0..=1.0).contains(&asymmetry), "asymmetry must be a probability");
+    for (a, b, _, _) in g.undirected_links() {
+        let forward = rng.random_range(lo..=hi);
+        let backward =
+            if rng.random::<f64>() < asymmetry { rng.random_range(lo..=hi) } else { forward };
+        g.set_cost(a, b, forward);
+        g.set_cost(b, a, backward);
+    }
+}
+
+/// Draws every directed half-link's *bandwidth* independently and
+/// uniformly from `[lo, hi]` (the QoS-routing extension; the paper's own
+/// evaluation leaves bandwidths unconstrained).
+pub fn assign_bandwidths(g: &mut Graph, lo: Bandwidth, hi: Bandwidth, rng: &mut StdRng) {
+    assert!(lo >= 1 && lo <= hi, "invalid bandwidth range [{lo}, {hi}]");
+    for (a, b, _, _) in g.undirected_links() {
+        let fwd = rng.random_range(lo..=hi);
+        let bwd = rng.random_range(lo..=hi);
+        g.set_bandwidth(a, b, fwd);
+        g.set_bandwidth(b, a, bwd);
+    }
+}
+
+/// Like [`assign_bandwidths`] but only for router–router links: host
+/// access links keep unlimited bandwidth (last-mile capacity is a
+/// provisioning question, not a routing one — and constraining it would
+/// make most channels inadmissible rather than interestingly constrained).
+pub fn assign_backbone_bandwidths(
+    g: &mut Graph,
+    lo: Bandwidth,
+    hi: Bandwidth,
+    rng: &mut StdRng,
+) {
+    assert!(lo >= 1 && lo <= hi, "invalid bandwidth range [{lo}, {hi}]");
+    for (a, b, _, _) in g.undirected_links() {
+        if !(g.is_router(a) && g.is_router(b)) {
+            continue;
+        }
+        let fwd = rng.random_range(lo..=hi);
+        let bwd = rng.random_range(lo..=hi);
+        g.set_bandwidth(a, b, fwd);
+        g.set_bandwidth(b, a, bwd);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isp::isp_topology;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn costs_fall_in_range() {
+        let mut g = isp_topology();
+        assign_paper_costs(&mut g, &mut rng(1));
+        for (_, c) in g.directed_links() {
+            assert!((1..=10).contains(&c), "cost {c} out of [1,10]");
+        }
+    }
+
+    #[test]
+    fn assignment_is_deterministic_per_seed() {
+        let mut a = isp_topology();
+        let mut b = isp_topology();
+        assign_paper_costs(&mut a, &mut rng(5));
+        assign_paper_costs(&mut b, &mut rng(5));
+        assert_eq!(a.undirected_links(), b.undirected_links());
+    }
+
+    #[test]
+    fn independent_directions_produce_asymmetric_links() {
+        let mut g = isp_topology();
+        assign_paper_costs(&mut g, &mut rng(2));
+        let asym = g
+            .undirected_links()
+            .iter()
+            .filter(|(_, _, ab, ba)| ab != ba)
+            .count();
+        // With independent U[1,10] draws, P[equal] = 1/10, so on 48 links we
+        // expect ≈ 43 asymmetric ones; even a loose bound catches regressions.
+        assert!(asym > 30, "only {asym} of 48 links asymmetric");
+    }
+
+    #[test]
+    fn zero_asymmetry_gives_symmetric_costs() {
+        let mut g = isp_topology();
+        assign_uniform_with_asymmetry(&mut g, 1, 10, 0.0, &mut rng(3));
+        for (_, _, ab, ba) in g.undirected_links() {
+            assert_eq!(ab, ba);
+        }
+    }
+
+    #[test]
+    fn asymmetry_fraction_tracks_knob() {
+        let mut g = isp_topology();
+        assign_uniform_with_asymmetry(&mut g, 1, 10, 0.5, &mut rng(4));
+        let links = g.undirected_links();
+        let asym = links.iter().filter(|(_, _, ab, ba)| ab != ba).count();
+        // Expected asymmetric fraction = 0.5 · 0.9 = 0.45 of 48 links ≈ 22.
+        assert!((10..=35).contains(&asym), "{asym} asymmetric links");
+    }
+
+    #[test]
+    fn degenerate_unit_range_is_allowed() {
+        let mut g = isp_topology();
+        assign_uniform(&mut g, 1, 1, &mut rng(6));
+        for (_, c) in g.directed_links() {
+            assert_eq!(c, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cost range")]
+    fn inverted_range_rejected() {
+        let mut g = isp_topology();
+        assign_uniform(&mut g, 5, 2, &mut rng(0));
+    }
+
+    #[test]
+    fn bandwidths_default_to_unlimited_and_assign_in_range() {
+        let mut g = isp_topology();
+        for (l, _) in g.directed_links() {
+            assert_eq!(g.bandwidth(l.from, l.to), Some(u32::MAX));
+        }
+        assign_bandwidths(&mut g, 1, 10, &mut rng(8));
+        for (l, _) in g.directed_links() {
+            let bw = g.bandwidth(l.from, l.to).unwrap();
+            assert!((1..=10).contains(&bw));
+        }
+    }
+}

@@ -1,0 +1,528 @@
+//! The core topology structure: nodes (routers and hosts) connected by
+//! point-to-point links with independent costs in each direction.
+//!
+//! Links are stored as directed half-links; [`Graph::add_link`] always
+//! inserts both directions so the physical topology stays bidirectional,
+//! which is what the paper assumes (asymmetry lives in the *costs*, not in
+//! connectivity).
+
+use std::fmt;
+
+/// Identifier of a node (router or host). Dense, index-like.
+///
+/// Node ids index into internal vectors, so they are assigned contiguously
+/// by [`Graph::add_router`] / [`Graph::add_host`] in insertion order. The
+/// paper's figures use the same convention (ISP topology: routers `0..18`,
+/// hosts `18..36`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The index of this node in the graph's dense node storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Cost of traversing a link in one direction.
+///
+/// The paper draws these uniformly from `[1, 10]` and uses them both as the
+/// routing metric and as the link transit delay ("time units"), so a single
+/// integer type serves both purposes. Accumulated path costs use
+/// [`PathCost`] (`u64`) to rule out overflow on long paths.
+pub type Cost = u32;
+
+/// Accumulated cost/delay along a path.
+pub type PathCost = u64;
+
+/// Identifier of a *directed* half-link: `(from, to)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LinkId {
+    /// Transmitting end.
+    pub from: NodeId,
+    /// Receiving end.
+    pub to: NodeId,
+}
+
+impl LinkId {
+    /// The directed half-link `from → to`.
+    pub fn new(from: NodeId, to: NodeId) -> Self {
+        LinkId { from, to }
+    }
+
+    /// The same physical link traversed in the opposite direction.
+    pub fn reversed(self) -> Self {
+        LinkId { from: self.to, to: self.from }
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}->{}", self.from, self.to)
+    }
+}
+
+/// What kind of device a node is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NodeKind {
+    /// A router: forwards packets, may run a multicast routing protocol.
+    Router,
+    /// An end host: sources or sinks traffic, never transits packets.
+    Host,
+}
+
+/// Per-node record.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Router or host.
+    pub kind: NodeKind,
+    /// Whether this node runs the multicast routing protocol under test.
+    ///
+    /// The paper's experiments set this `true` for every router ("all
+    /// routers implement the multicast service in our experiments") but the
+    /// protocols are explicitly designed to traverse `false` routers
+    /// (unicast-only clouds); the `unicast_clouds` ablation exercises that.
+    pub mcast_capable: bool,
+    /// Optional human-readable label used by the scenario topologies
+    /// (`"S"`, `"R3"`, `"r1"`, ...).
+    pub label: Option<String>,
+}
+
+/// Bandwidth of a link direction (abstract units; `u32::MAX` = unlimited).
+pub type Bandwidth = u32;
+
+/// A directed out-edge in the adjacency list.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutEdge {
+    /// The neighbor this edge leads to.
+    pub to: NodeId,
+    /// Cost of traversing the edge in this direction.
+    pub cost: Cost,
+    /// Available bandwidth in this direction (QoS extension; defaults to
+    /// unlimited and is ignored unless bandwidth-constrained routing is
+    /// used).
+    pub bandwidth: Bandwidth,
+}
+
+/// The network topology: a set of routers and hosts connected by
+/// bidirectional links with per-direction costs.
+///
+/// ```
+/// use hbh_topo::graph::Graph;
+///
+/// let mut g = Graph::new();
+/// let a = g.add_router();
+/// let b = g.add_router();
+/// g.add_link(a, b, 3, 7); // cost a→b = 3, b→a = 7 (asymmetric)
+/// let host = g.add_host(a, 1, 1);
+///
+/// assert_eq!(g.cost(a, b), Some(3));
+/// assert_eq!(g.cost(b, a), Some(7));
+/// assert_eq!(g.host_router(host), a);
+/// ```
+///
+/// Invariants maintained by the mutation API:
+///
+/// * every link is bidirectional (both half-links present);
+/// * hosts are single-homed: exactly one link, to a router;
+/// * no self-loops, no parallel links;
+/// * all costs are ≥ 1 (a zero cost would make "delay" degenerate and can
+///   produce zero-cost cycles in path enumeration).
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    adj: Vec<Vec<OutEdge>>,
+}
+
+impl Graph {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    fn add_node(&mut self, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.adj.push(Vec::new());
+        id
+    }
+
+    /// Adds a multicast-capable router.
+    pub fn add_router(&mut self) -> NodeId {
+        self.add_node(Node { kind: NodeKind::Router, mcast_capable: true, label: None })
+    }
+
+    /// Adds a router with a human-readable label (used by the paper-figure
+    /// scenario topologies).
+    pub fn add_router_labeled(&mut self, label: &str) -> NodeId {
+        self.add_node(Node {
+            kind: NodeKind::Router,
+            mcast_capable: true,
+            label: Some(label.to_owned()),
+        })
+    }
+
+    /// Adds a host and single-homes it to `router` with the given access
+    /// costs (one per direction).
+    ///
+    /// # Panics
+    /// Panics if `router` is not a router, or a cost is zero.
+    pub fn add_host(&mut self, router: NodeId, cost_to_host: Cost, cost_to_router: Cost) -> NodeId {
+        assert_eq!(self.kind(router), NodeKind::Router, "hosts attach to routers");
+        let host = self.add_node(Node { kind: NodeKind::Host, mcast_capable: false, label: None });
+        self.add_link(router, host, cost_to_host, cost_to_router);
+        host
+    }
+
+    /// [`Graph::add_host`] with a label.
+    pub fn add_host_labeled(
+        &mut self,
+        router: NodeId,
+        cost_to_host: Cost,
+        cost_to_router: Cost,
+        label: &str,
+    ) -> NodeId {
+        let host = self.add_host(router, cost_to_host, cost_to_router);
+        self.nodes[host.index()].label = Some(label.to_owned());
+        host
+    }
+
+    /// Adds a bidirectional link `a — b` with directed costs
+    /// `cost(a→b) = ab` and `cost(b→a) = ba`.
+    ///
+    /// # Panics
+    /// Panics on self-loops, duplicate links, zero costs, or an attempt to
+    /// multi-home a host.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, ab: Cost, ba: Cost) {
+        assert_ne!(a, b, "self-loop {a}");
+        assert!(ab >= 1 && ba >= 1, "link costs must be >= 1");
+        assert!(self.cost(a, b).is_none(), "duplicate link {a}-{b}");
+        for n in [a, b] {
+            if self.kind(n) == NodeKind::Host {
+                assert!(self.adj[n.index()].is_empty(), "host {n} must be single-homed");
+            }
+        }
+        self.adj[a.index()].push(OutEdge { to: b, cost: ab, bandwidth: Bandwidth::MAX });
+        self.adj[b.index()].push(OutEdge { to: a, cost: ba, bandwidth: Bandwidth::MAX });
+    }
+
+    /// Crate-internal escape hatch for scenario builders that need to attach
+    /// a host to a *second* router (the paper's Figure 2 draws `r1`/`r2`
+    /// with one upstream router per direction of their asymmetric routes).
+    /// Bypasses the single-homing assertion but keeps every other invariant.
+    /// Hosts still never transit traffic — routing enforces that separately.
+    pub(crate) fn push_raw_link(&mut self, a: NodeId, b: NodeId, ab: Cost, ba: Cost) {
+        assert_ne!(a, b, "self-loop {a}");
+        assert!(ab >= 1 && ba >= 1, "link costs must be >= 1");
+        assert!(self.cost(a, b).is_none(), "duplicate link {a}-{b}");
+        self.adj[a.index()].push(OutEdge { to: b, cost: ab, bandwidth: Bandwidth::MAX });
+        self.adj[b.index()].push(OutEdge { to: a, cost: ba, bandwidth: Bandwidth::MAX });
+    }
+
+    /// Overwrites the cost of the directed half-link `from → to`.
+    ///
+    /// # Panics
+    /// Panics if the link does not exist or `cost` is zero.
+    pub fn set_cost(&mut self, from: NodeId, to: NodeId, cost: Cost) {
+        assert!(cost >= 1, "link costs must be >= 1");
+        let e = self.adj[from.index()]
+            .iter_mut()
+            .find(|e| e.to == to)
+            .unwrap_or_else(|| panic!("no link {from}->{to}"));
+        e.cost = cost;
+    }
+
+    /// Sets the bandwidth of the directed half-link `from → to` (QoS
+    /// extension).
+    ///
+    /// # Panics
+    /// Panics if the link does not exist or `bw` is zero.
+    pub fn set_bandwidth(&mut self, from: NodeId, to: NodeId, bw: Bandwidth) {
+        assert!(bw >= 1, "bandwidth must be >= 1");
+        let e = self.adj[from.index()]
+            .iter_mut()
+            .find(|e| e.to == to)
+            .unwrap_or_else(|| panic!("no link {from}->{to}"));
+        e.bandwidth = bw;
+    }
+
+    /// Bandwidth of the directed half-link `from → to`, if it exists.
+    pub fn bandwidth(&self, from: NodeId, to: NodeId) -> Option<Bandwidth> {
+        self.adj[from.index()].iter().find(|e| e.to == to).map(|e| e.bandwidth)
+    }
+
+    /// Marks a router as unicast-only (it forwards data but cannot hold
+    /// multicast protocol state, i.e. cannot be a branching node).
+    pub fn set_mcast_capable(&mut self, n: NodeId, capable: bool) {
+        assert_eq!(self.kind(n), NodeKind::Router, "capability applies to routers");
+        self.nodes[n.index()].mcast_capable = capable;
+    }
+
+    // --- accessors ---------------------------------------------------------
+
+    /// Number of nodes (routers + hosts).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of *undirected* links.
+    pub fn link_count(&self) -> usize {
+        self.adj.iter().map(|a| a.len()).sum::<usize>() / 2
+    }
+
+    /// Router or host?
+    pub fn kind(&self, n: NodeId) -> NodeKind {
+        self.nodes[n.index()].kind
+    }
+
+    /// True if `n` is a router.
+    pub fn is_router(&self, n: NodeId) -> bool {
+        self.kind(n) == NodeKind::Router
+    }
+
+    /// True if `n` is a host.
+    pub fn is_host(&self, n: NodeId) -> bool {
+        self.kind(n) == NodeKind::Host
+    }
+
+    /// True if `n` may hold multicast protocol state.
+    pub fn is_mcast_capable(&self, n: NodeId) -> bool {
+        self.nodes[n.index()].mcast_capable
+    }
+
+    /// The scenario label of `n`, if any.
+    pub fn label(&self, n: NodeId) -> Option<&str> {
+        self.nodes[n.index()].label.as_deref()
+    }
+
+    /// Resolves a scenario label back to its node.
+    pub fn node_by_label(&self, label: &str) -> Option<NodeId> {
+        (0..self.nodes.len())
+            .map(|i| NodeId(i as u32))
+            .find(|&n| self.label(n) == Some(label))
+    }
+
+    /// All node ids, in insertion order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// All routers.
+    pub fn routers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes().filter(|&n| self.is_router(n))
+    }
+
+    /// All hosts.
+    pub fn hosts(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.nodes().filter(|&n| self.is_host(n))
+    }
+
+    /// Out-edges of `n`.
+    pub fn neighbors(&self, n: NodeId) -> &[OutEdge] {
+        &self.adj[n.index()]
+    }
+
+    /// Degree of `n` (number of attached links).
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.adj[n.index()].len()
+    }
+
+    /// Cost of the directed half-link `from → to`, if the link exists.
+    pub fn cost(&self, from: NodeId, to: NodeId) -> Option<Cost> {
+        self.adj[from.index()].iter().find(|e| e.to == to).map(|e| e.cost)
+    }
+
+    /// The router a host is attached to.
+    ///
+    /// # Panics
+    /// Panics if `host` is not a host.
+    pub fn host_router(&self, host: NodeId) -> NodeId {
+        assert_eq!(self.kind(host), NodeKind::Host, "{host} is not a host");
+        self.adj[host.index()][0].to
+    }
+
+    /// All directed half-links, as `(LinkId, cost)`.
+    pub fn directed_links(&self) -> impl Iterator<Item = (LinkId, Cost)> + '_ {
+        self.nodes().flat_map(move |from| {
+            self.adj[from.index()]
+                .iter()
+                .map(move |e| (LinkId::new(from, e.to), e.cost))
+        })
+    }
+
+    /// All undirected links, each reported once with both directed costs
+    /// `(a, b, cost(a→b), cost(b→a))`, with `a < b`.
+    pub fn undirected_links(&self) -> Vec<(NodeId, NodeId, Cost, Cost)> {
+        let mut out = Vec::with_capacity(self.link_count());
+        for (l, c) in self.directed_links() {
+            if l.from < l.to {
+                let back = self.cost(l.to, l.from).expect("links are bidirectional");
+                out.push((l.from, l.to, c, back));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_routers() -> (Graph, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let a = g.add_router();
+        let b = g.add_router();
+        g.add_link(a, b, 3, 7);
+        (g, a, b)
+    }
+
+    #[test]
+    fn node_ids_are_dense_and_ordered() {
+        let mut g = Graph::new();
+        assert_eq!(g.add_router(), NodeId(0));
+        assert_eq!(g.add_router(), NodeId(1));
+        let h = g.add_host(NodeId(0), 1, 1);
+        assert_eq!(h, NodeId(2));
+        assert_eq!(g.node_count(), 3);
+    }
+
+    #[test]
+    fn links_are_bidirectional_with_independent_costs() {
+        let (g, a, b) = two_routers();
+        assert_eq!(g.cost(a, b), Some(3));
+        assert_eq!(g.cost(b, a), Some(7));
+        assert_eq!(g.link_count(), 1);
+    }
+
+    #[test]
+    fn cost_of_missing_link_is_none() {
+        let mut g = Graph::new();
+        let a = g.add_router();
+        let b = g.add_router();
+        assert_eq!(g.cost(a, b), None);
+    }
+
+    #[test]
+    fn set_cost_changes_one_direction_only() {
+        let (mut g, a, b) = two_routers();
+        g.set_cost(a, b, 9);
+        assert_eq!(g.cost(a, b), Some(9));
+        assert_eq!(g.cost(b, a), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_rejected() {
+        let mut g = Graph::new();
+        let a = g.add_router();
+        g.add_link(a, a, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate link")]
+    fn duplicate_links_rejected() {
+        let (mut g, a, b) = two_routers();
+        g.add_link(a, b, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 1")]
+    fn zero_cost_rejected() {
+        let (mut g, a, b) = two_routers();
+        let _ = (a, b);
+        let c = g.add_router();
+        g.add_link(a, c, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-homed")]
+    fn hosts_cannot_be_multihomed() {
+        let mut g = Graph::new();
+        let a = g.add_router();
+        let b = g.add_router();
+        let h = g.add_host(a, 1, 1);
+        g.add_link(h, b, 1, 1);
+    }
+
+    #[test]
+    fn host_router_resolves_attachment() {
+        let mut g = Graph::new();
+        let a = g.add_router();
+        let h = g.add_host(a, 2, 5);
+        assert_eq!(g.host_router(h), a);
+        assert_eq!(g.cost(a, h), Some(2));
+        assert_eq!(g.cost(h, a), Some(5));
+    }
+
+    #[test]
+    fn hosts_are_not_mcast_capable() {
+        let mut g = Graph::new();
+        let a = g.add_router();
+        let h = g.add_host(a, 1, 1);
+        assert!(g.is_mcast_capable(a));
+        assert!(!g.is_mcast_capable(h));
+    }
+
+    #[test]
+    fn router_can_be_made_unicast_only() {
+        let mut g = Graph::new();
+        let a = g.add_router();
+        g.set_mcast_capable(a, false);
+        assert!(!g.is_mcast_capable(a));
+        assert!(g.is_router(a));
+    }
+
+    #[test]
+    fn labels_resolve_back_to_nodes() {
+        let mut g = Graph::new();
+        let s = g.add_router_labeled("S");
+        let r = g.add_host_labeled(s, 1, 1, "r1");
+        assert_eq!(g.node_by_label("S"), Some(s));
+        assert_eq!(g.node_by_label("r1"), Some(r));
+        assert_eq!(g.node_by_label("nope"), None);
+    }
+
+    #[test]
+    fn undirected_links_report_each_link_once() {
+        let (g, a, b) = two_routers();
+        assert_eq!(g.undirected_links(), vec![(a, b, 3, 7)]);
+    }
+
+    #[test]
+    fn directed_links_report_both_halves() {
+        let (g, _, _) = two_routers();
+        assert_eq!(g.directed_links().count(), 2);
+    }
+
+    #[test]
+    fn degree_counts_attached_links() {
+        let mut g = Graph::new();
+        let a = g.add_router();
+        let b = g.add_router();
+        let c = g.add_router();
+        g.add_link(a, b, 1, 1);
+        g.add_link(a, c, 1, 1);
+        assert_eq!(g.degree(a), 2);
+        assert_eq!(g.degree(b), 1);
+    }
+
+    #[test]
+    fn link_id_reversal() {
+        let l = LinkId::new(NodeId(1), NodeId(2));
+        assert_eq!(l.reversed(), LinkId::new(NodeId(2), NodeId(1)));
+        assert_eq!(l.reversed().reversed(), l);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # hbh-topo — topology substrate for the HBH multicast simulator
+//!
+//! This crate models the physical network the multicast routing protocols run
+//! over: routers, hosts, and point-to-point links with **per-direction**
+//! integer costs. Per-direction costs are the root cause studied by the HBH
+//! paper (Costa, Fdida, Duarte, SIGCOMM 2001): when `cost(u → v) ≠
+//! cost(v → u)`, unicast shortest paths become asymmetric and reverse-path
+//! multicast trees stop being shortest-path trees.
+//!
+//! The crate provides:
+//!
+//! * [`graph::Graph`] — the mutable topology structure (routers, hosts,
+//!   directed link costs, multicast capability flags);
+//! * [`isp`] — the 18-router "large ISP" backbone of the paper's Figure 6;
+//! * [`random`] — seeded random-graph generators (G(n,p) with a target
+//!   average degree, plus Waxman for extensions);
+//! * [`costs`] — cost assignment policies (the paper's per-direction
+//!   `U[1,10]`, and an asymmetry-interpolation knob used by the ablations);
+//! * [`scenarios`] — the small hand-built topologies of the paper's
+//!   Figures 1, 2/5 and 3, with directed costs chosen so the unicast routes
+//!   match the routes the paper's walk-throughs assume;
+//! * [`analysis`] — structural statistics (degree, connectivity, diameter,
+//!   link-cost asymmetry).
+//!
+//! Everything is deterministic given an explicit [`rand::rngs::StdRng`] seed;
+//! no global RNG state is ever consulted.
+
+pub mod analysis;
+pub mod costs;
+pub mod dot;
+pub mod graph;
+pub mod isp;
+pub mod random;
+pub mod scenarios;
+
+pub use graph::{Cost, Graph, LinkId, NodeId, NodeKind};

@@ -1,0 +1,237 @@
+//! Low-level field encoding: the common header and primitive readers and
+//! writers with explicit bounds checking (no slicing panics anywhere).
+
+use crate::codec::WireError;
+use hbh_proto_base::{Channel, GroupAddr};
+use hbh_topo::graph::NodeId;
+
+/// First header byte, chosen to be visibly not-ASCII in dumps.
+pub const MAGIC: u8 = 0xB4;
+/// Wire protocol version.
+pub const VERSION: u8 = 1;
+/// Header length in bytes.
+pub const HEADER_LEN: usize = 8;
+/// Hard cap on body length: bounds allocation during decode. The largest
+/// real message is an HBH fusion listing an MFT; 64 KiB of node list is
+/// three orders of magnitude beyond any tree in this workspace.
+pub const MAX_BODY: usize = 64 * 1024;
+
+/// Message type codes (byte 2 of the header).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+#[allow(missing_docs)] // names mirror the message enums 1:1
+pub enum MsgType {
+    HbhJoin = 0x01,
+    HbhTree = 0x02,
+    HbhFusion = 0x03,
+    HbhData = 0x04,
+    ReuniteJoin = 0x11,
+    ReuniteTree = 0x12,
+    ReuniteData = 0x14,
+    PimJoin = 0x21,
+    PimData = 0x24,
+}
+
+impl MsgType {
+    /// Parses a header type byte.
+    pub fn from_byte(b: u8) -> Option<MsgType> {
+        Some(match b {
+            0x01 => MsgType::HbhJoin,
+            0x02 => MsgType::HbhTree,
+            0x03 => MsgType::HbhFusion,
+            0x04 => MsgType::HbhData,
+            0x11 => MsgType::ReuniteJoin,
+            0x12 => MsgType::ReuniteTree,
+            0x14 => MsgType::ReuniteData,
+            0x21 => MsgType::PimJoin,
+            0x24 => MsgType::PimData,
+            _ => return None,
+        })
+    }
+}
+
+/// Flag bits (byte 3 of the header).
+pub mod flags {
+    /// HBH join: the receiver's first join (never intercepted);
+    /// REUNITE join: fresh join (may be captured / promote).
+    pub const INITIAL: u8 = 0b0000_0001;
+    /// REUNITE tree: marked (stale-propagation).
+    pub const MARKED: u8 = 0b0000_0010;
+    /// All bits a valid encoder may set.
+    pub const KNOWN: u8 = INITIAL | MARKED;
+}
+
+/// Bounds-checked big-endian writer.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Writer::default()
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a big-endian `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a node address (`u32`).
+    pub fn node(&mut self, n: NodeId) {
+        self.u32(n.0);
+    }
+
+    /// Appends a channel: source address then group address.
+    pub fn channel(&mut self, ch: Channel) {
+        self.node(ch.source);
+        self.u32(ch.group.0);
+    }
+
+    /// Finishes writing and yields the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Bounds-checked big-endian reader over a body slice.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over one message body.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a big-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a big-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a node address.
+    pub fn node(&mut self) -> Result<NodeId, WireError> {
+        Ok(NodeId(self.u32()?))
+    }
+
+    /// Reads a channel (source address then group address).
+    pub fn channel(&mut self) -> Result<Channel, WireError> {
+        let source = self.node()?;
+        let group = GroupAddr(self.u32()?);
+        Ok(Channel { source, group })
+    }
+
+    /// All body bytes must be consumed; trailing garbage is an error (it
+    /// would hide framing bugs).
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes(self.buf.len() - self.pos))
+        }
+    }
+
+    /// Unread bytes left in the body.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_reader_roundtrip_primitives() {
+        let mut w = Writer::new();
+        w.u8(0xAB);
+        w.u16(0xCDEF);
+        w.u32(0xDEAD_BEEF);
+        w.node(NodeId(42));
+        w.channel(Channel::primary(NodeId(7)));
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u16().unwrap(), 0xCDEF);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.node().unwrap(), NodeId(42));
+        assert_eq!(r.channel().unwrap(), Channel::primary(NodeId(7)));
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn reader_rejects_truncation() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        assert!(r.u32().is_err());
+    }
+
+    #[test]
+    fn reader_rejects_trailing_bytes() {
+        let mut r = Reader::new(&[1, 2]);
+        r.u8().unwrap();
+        assert!(matches!(r.finish(), Err(WireError::TrailingBytes(1))));
+    }
+
+    #[test]
+    fn msg_type_codes_roundtrip() {
+        for t in [
+            MsgType::HbhJoin,
+            MsgType::HbhTree,
+            MsgType::HbhFusion,
+            MsgType::HbhData,
+            MsgType::ReuniteJoin,
+            MsgType::ReuniteTree,
+            MsgType::ReuniteData,
+            MsgType::PimJoin,
+            MsgType::PimData,
+        ] {
+            assert_eq!(MsgType::from_byte(t as u8), Some(t));
+        }
+        assert_eq!(MsgType::from_byte(0xFF), None);
+    }
+}

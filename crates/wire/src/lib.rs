@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # hbh-wire — wire formats for the protocol messages
+//!
+//! The simulator exchanges typed Rust enums; a deployment exchanges bytes.
+//! This crate defines a concrete wire encoding for every control message of
+//! the three protocol families (HBH, REUNITE, PIM) so the engines in this
+//! workspace describe a protocol that could actually go on the wire — and
+//! so the message sizes used by the control-overhead ablation can be
+//! grounded in bytes rather than message counts.
+//!
+//! ## Format
+//!
+//! Every message is a fixed 8-byte header followed by a message-specific
+//! body, all integers big-endian (network order):
+//!
+//! ```text
+//!  0               1               2               3
+//!  +---------------+---------------+---------------+---------------+
+//!  | magic (0xB4)  | version (1)   | msg type      | flags         |
+//!  +---------------+---------------+---------------+---------------+
+//!  | body length (u16)             | reserved (u16, zero)          |
+//!  +---------------+---------------+---------------+---------------+
+//!  | body ...                                                      |
+//! ```
+//!
+//! Node addresses travel as `u32` (the simulator's dense node ids stand in
+//! for IPv4 unicast addresses 1:1); group addresses as `u32` in the SSM
+//! `232/8` convention of `hbh-proto-base::channel`.
+//!
+//! ## Guarantees
+//!
+//! * **Round-trip:** `decode(encode(m)) == m` for every valid message
+//!   (unit + property tests).
+//! * **Zero panic:** `decode` of *arbitrary* bytes never panics and never
+//!   allocates unboundedly — it returns a typed [`WireError`]
+//!   (property-tested against random and truncated inputs).
+//! * **Self-framing:** the header carries the body length, so messages can
+//!   be streamed back-to-back ([`decode_stream`]).
+
+pub mod codec;
+pub mod format;
+
+pub use codec::{decode, decode_stream, encode, WireError, WireMsg};
+
+#[cfg(test)]
+mod proptests;

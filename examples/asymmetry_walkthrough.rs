@@ -1,0 +1,113 @@
+//! The paper's Figures 2/3/5, live: run REUNITE and HBH side by side on
+//! the exact walk-through topologies and print what each protocol built.
+//!
+//! ```text
+//! cargo run -p hbh-examples --bin asymmetry_walkthrough
+//! ```
+
+use hbh_proto::Hbh;
+use hbh_proto_base::{Channel, Cmd, Timing};
+use hbh_reunite::Reunite;
+use hbh_sim_core::{Kernel, Network, Protocol, Time};
+use hbh_topo::graph::{Graph, NodeId};
+use hbh_topo::scenarios;
+
+fn n(g: &Graph, label: &str) -> NodeId {
+    g.node_by_label(label).unwrap()
+}
+
+fn label(g: &Graph, node: NodeId) -> String {
+    g.label(node).map(str::to_owned).unwrap_or_else(|| node.to_string())
+}
+
+fn probe<P: Protocol<Command = Cmd>>(
+    proto: P,
+    g: Graph,
+    joins: &[(&str, u64)],
+) -> (Kernel<P>, Vec<(String, u64, u64)>) {
+    let timing = Timing::default();
+    let s = n(&g, "S");
+    let ch = Channel::primary(s);
+    let mut k = Kernel::new(Network::new(g), proto, 1);
+    k.command_at(s, Cmd::StartSource(ch), Time::ZERO);
+    for &(l, t) in joins {
+        let r = n(k.network().graph(), l);
+        k.command_at(r, Cmd::Join(ch), Time(t));
+    }
+    k.run_until(Time(timing.convergence_horizon(1000) + 4 * timing.t2));
+    let t = k.now();
+    k.command_at(s, Cmd::SendData { ch, tag: 1 }, t);
+    k.run_until(t + 500);
+    let g = k.network().graph();
+    let mut rows: Vec<(String, u64, u64)> = k
+        .stats()
+        .deliveries_tagged(1)
+        .map(|d| {
+            let spt = k.network().dist(s, d.node).unwrap();
+            (label(g, d.node), d.delay(), spt)
+        })
+        .collect();
+    rows.sort();
+    (k, rows)
+}
+
+fn report<P: Protocol<Command = Cmd>>(name: &str, k: &Kernel<P>, rows: &[(String, u64, u64)]) {
+    println!("  {name}:");
+    for (r, delay, spt) in rows {
+        println!(
+            "    {r}: delay {delay:>2} (shortest possible {spt}) {}",
+            if delay == spt { "✓ SPT" } else { "✗ detoured" }
+        );
+    }
+    println!("    tree cost: {} copies", k.stats().data_copies_tagged(1));
+    let dups: Vec<String> = k
+        .stats()
+        .data_copies_per_link(1)
+        .iter()
+        .filter(|(_, &c)| c > 1)
+        .map(|(&(f, t), &c)| {
+            format!("{}→{} ×{}", label(k.network().graph(), f), label(k.network().graph(), t), c)
+        })
+        .collect();
+    if dups.is_empty() {
+        println!("    no duplicated links");
+    } else {
+        println!("    duplicated links: {}", dups.join(", "));
+    }
+}
+
+fn main() {
+    let timing = Timing::default();
+
+    println!("=== Figure 2/5: asymmetric routes (r1, then r2, then r3 join) ===");
+    println!("  unicast routes: S→r1 via R1,R3 but r1→S via R2,R1;");
+    println!("                  S→r2 via R4     but r2→S via R3,R1.\n");
+    let joins = [("r1", 0), ("r2", 400), ("r3", 800)];
+    let (kr, rows) = probe(Reunite::new(timing), scenarios::fig2(), &joins);
+    report("REUNITE (pins r2 to the tree-message path — Figure 2)", &kr, &rows);
+    let (kh, rows) = probe(Hbh::new(timing), scenarios::fig2(), &joins);
+    report("HBH (fusion re-homes everyone onto the SPT — Figure 5)", &kh, &rows);
+
+    println!("\n=== Figure 3: shared downstream link R1→R6, joins bypass R6 ===\n");
+    let joins = [("r1", 0), ("r2", 400)];
+    let (kr, rows) = probe(Reunite::new(timing), scenarios::fig3(), &joins);
+    report("REUNITE (two copies of every packet on R1→R6)", &kr, &rows);
+    let (kh, rows) = probe(Hbh::new(timing), scenarios::fig3(), &joins);
+    report("HBH (R6 elected as branching node via fusion)", &kh, &rows);
+
+    let g = kh.network().graph();
+    let ch = Channel::primary(n(g, "S"));
+    println!("\n  HBH state at R1 (the splice point):");
+    let r1 = n(g, "R1");
+    if let Some(mft) = kh.state(r1).mft(ch) {
+        let now = kh.now();
+        for node in mft.live(now) {
+            println!(
+                "    {} — {}{}",
+                label(g, node),
+                if mft.is_marked(node, now) { "marked (tree only)" } else { "data" },
+                if mft.is_stale(node, now) { ", stale (fusion-installed)" } else { "" }
+            );
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! One full evaluation run on the paper's ISP topology: the four
+//! protocols serve the same randomly drawn group, and the paper's two
+//! metrics are printed side by side — a single-sample preview of
+//! Figures 7(a)/8(a).
+//!
+//! ```text
+//! cargo run -p hbh-examples --bin isp_channel            # default draw
+//! cargo run -p hbh-examples --bin isp_channel 16 9       # group size 16, seed 9
+//! ```
+
+use hbh_experiments::protocols::{run_protocol, ProtocolKind};
+use hbh_experiments::scenario::{build, ScenarioOptions, TopologyKind};
+use hbh_proto_base::Timing;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let group: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(7);
+
+    let timing = Timing::default();
+    let sc = build(TopologyKind::Isp, group, seed, &timing, &ScenarioOptions::default());
+    println!(
+        "ISP topology (Figure 6 reconstruction): source {} on router 0, {} receivers, seed {seed}",
+        sc.source, group
+    );
+    println!("receivers: {:?}\n", sc.receivers);
+
+    println!(
+        "{:<10} {:>12} {:>16} {:>12} {:>10}",
+        "protocol", "tree cost", "bandwidth", "avg delay", "converged"
+    );
+    for kind in ProtocolKind::ALL {
+        let o = run_protocol(kind, &sc, &timing);
+        assert!(o.complete(), "{} lost receivers", kind.name());
+        println!(
+            "{:<10} {:>12} {:>16} {:>12.2} {:>10}",
+            kind.name(),
+            o.cost,
+            o.weighted_cost,
+            o.avg_delay(),
+            o.converged
+        );
+    }
+    println!(
+        "\n(cost = copies of one packet across links; bandwidth = copies × link cost;\n\
+         delay = mean receiver delay in time units; single draw — run the `fig7`/`fig8`\n\
+         binaries in hbh-experiments for the full averaged figures)"
+    );
+}

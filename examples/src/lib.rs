@@ -1,0 +1,2 @@
+//! Example host crate. The runnable examples live in `examples/examples/`;
+//! this library target is intentionally empty.

@@ -1,0 +1,2 @@
+//! Integration-test host crate. The tests live in `tests/tests/*.rs`; this
+//! library target is intentionally empty.

@@ -1,0 +1,87 @@
+//! "IP Multicast clouds as leaves" (§3): several receivers behind one
+//! access router. The paper notes local IGMP aggregation doesn't change
+//! tree cost at the backbone level; here we verify the backbone side of
+//! that claim — the router-to-router tree is shared, and only the access
+//! links multiply.
+
+use hbh_proto::Hbh;
+use hbh_proto_base::{Channel, Cmd, Timing};
+use hbh_sim_core::{Kernel, Network, Time};
+use hbh_topo::graph::{Graph, NodeId};
+
+/// s(host) — a — b — c with three receivers on c and one on b.
+fn leafy() -> (Graph, NodeId, Vec<NodeId>) {
+    let mut g = Graph::new();
+    let a = g.add_router();
+    let b = g.add_router();
+    let c = g.add_router();
+    g.add_link(a, b, 2, 2);
+    g.add_link(b, c, 3, 3);
+    let s = g.add_host(a, 1, 1);
+    let r1 = g.add_host(c, 1, 1);
+    let r2 = g.add_host(c, 1, 1);
+    let r3 = g.add_host(c, 1, 1);
+    let r4 = g.add_host(b, 1, 1);
+    (g, s, vec![r1, r2, r3, r4])
+}
+
+#[test]
+fn co_located_receivers_share_the_backbone_tree() {
+    let (g, s, receivers) = leafy();
+    let timing = Timing::default();
+    let ch = Channel::primary(s);
+    let mut k = Kernel::new(Network::new(g), Hbh::new(timing), 7);
+    k.command_at(s, Cmd::StartSource(ch), Time::ZERO);
+    for (i, &r) in receivers.iter().enumerate() {
+        k.command_at(r, Cmd::Join(ch), Time(i as u64 * 120));
+    }
+    k.run_until(Time(timing.convergence_horizon(500)));
+    let t = k.now();
+    k.command_at(s, Cmd::SendData { ch, tag: 1 }, t);
+    k.run_until(t + 200);
+
+    assert_eq!(k.stats().deliveries_tagged(1).count(), 4, "all four served");
+    // Backbone: s→a, a→b, b→c each once; access: b→r4, c→r1..r3.
+    let per_link = k.stats().data_copies_per_link(1);
+    let backbone: u64 = per_link
+        .iter()
+        .filter(|(&(f, t), _)| {
+            k.network().graph().is_router(f) && k.network().graph().is_router(t)
+        })
+        .map(|(_, &c)| c)
+        .sum();
+    assert_eq!(backbone, 2, "a→b and b→c exactly once each");
+    assert_eq!(k.stats().data_copies_tagged(1), 2 + 1 + 4, "backbone + s-access + 4 access links");
+}
+
+#[test]
+fn adding_a_co_located_receiver_costs_one_access_link() {
+    let run = |n_on_c: usize| {
+        let mut g = Graph::new();
+        let a = g.add_router();
+        let b = g.add_router();
+        let c = g.add_router();
+        g.add_link(a, b, 2, 2);
+        g.add_link(b, c, 3, 3);
+        let s = g.add_host(a, 1, 1);
+        let receivers: Vec<NodeId> = (0..n_on_c).map(|_| g.add_host(c, 1, 1)).collect();
+        let timing = Timing::default();
+        let ch = Channel::primary(s);
+        let mut k = Kernel::new(Network::new(g), Hbh::new(timing), 3);
+        k.command_at(s, Cmd::StartSource(ch), Time::ZERO);
+        for (i, &r) in receivers.iter().enumerate() {
+            k.command_at(r, Cmd::Join(ch), Time(i as u64 * 100));
+        }
+        k.run_until(Time(timing.convergence_horizon(600)));
+        let t = k.now();
+        k.command_at(s, Cmd::SendData { ch, tag: 1 }, t);
+        k.run_until(t + 200);
+        assert_eq!(k.stats().deliveries_tagged(1).count(), n_on_c);
+        k.stats().data_copies_tagged(1)
+    };
+    let c2 = run(2);
+    let c3 = run(3);
+    let c4 = run(4);
+    assert_eq!(c3, c2 + 1, "one extra access copy per extra local receiver");
+    assert_eq!(c4, c3 + 1);
+}

@@ -1,0 +1,102 @@
+//! Multi-channel operation: HBH's `<S, G>` identification means multiple
+//! simultaneous channels — from the same or different sources — must keep
+//! fully independent state and delivery (the address-allocation story of
+//! §1/§3).
+
+use hbh_proto::Hbh;
+use hbh_proto_base::{Channel, Cmd, GroupAddr, Timing};
+use hbh_sim_core::{Kernel, Network, Time};
+use hbh_topo::graph::NodeId;
+use hbh_topo::{costs, isp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+fn network(seed: u64) -> Network {
+    let mut g = isp::isp_topology();
+    costs::assign_paper_costs(&mut g, &mut StdRng::seed_from_u64(seed));
+    Network::new(g)
+}
+
+#[test]
+fn two_sources_two_channels_are_isolated() {
+    let net = network(1);
+    let s1 = NodeId(18); // host on router 0
+    let s2 = NodeId(27); // host on router 9
+    let ch1 = Channel::primary(s1);
+    let ch2 = Channel::primary(s2);
+    let timing = Timing::default();
+    let mut k = Kernel::new(net, Hbh::new(timing), 1);
+    k.command_at(s1, Cmd::StartSource(ch1), Time::ZERO);
+    k.command_at(s2, Cmd::StartSource(ch2), Time::ZERO);
+
+    // Disjoint receiver sets; one host (n30) subscribes to both.
+    let g1 = [NodeId(20), NodeId(25), NodeId(30)];
+    let g2 = [NodeId(22), NodeId(33), NodeId(30)];
+    for (i, &r) in g1.iter().enumerate() {
+        k.command_at(r, Cmd::Join(ch1), Time(i as u64 * 60));
+    }
+    for (i, &r) in g2.iter().enumerate() {
+        k.command_at(r, Cmd::Join(ch2), Time(30 + i as u64 * 60));
+    }
+    k.run_until(Time(timing.convergence_horizon(500)));
+
+    let t = k.now();
+    k.command_at(s1, Cmd::SendData { ch: ch1, tag: 1 }, t);
+    k.command_at(s2, Cmd::SendData { ch: ch2, tag: 2 }, t);
+    k.run_until(t + 2000);
+
+    let served1: HashSet<NodeId> = k.stats().deliveries_tagged(1).map(|d| d.node).collect();
+    let served2: HashSet<NodeId> = k.stats().deliveries_tagged(2).map(|d| d.node).collect();
+    assert_eq!(served1, g1.iter().copied().collect());
+    assert_eq!(served2, g2.iter().copied().collect());
+    assert_eq!(k.stats().deliveries_tagged(1).count(), 3, "no duplicates on ch1");
+    assert_eq!(k.stats().deliveries_tagged(2).count(), 3, "no duplicates on ch2");
+}
+
+#[test]
+fn same_source_different_groups_are_distinct_channels() {
+    let net = network(2);
+    let s = NodeId(18);
+    let cha = Channel::new(s, GroupAddr(1));
+    let chb = Channel::new(s, GroupAddr(2));
+    let timing = Timing::default();
+    let mut k = Kernel::new(net, Hbh::new(timing), 2);
+    k.command_at(s, Cmd::StartSource(cha), Time::ZERO);
+    k.command_at(s, Cmd::StartSource(chb), Time::ZERO);
+    k.command_at(NodeId(21), Cmd::Join(cha), Time(0));
+    k.command_at(NodeId(34), Cmd::Join(chb), Time(0));
+    k.run_until(Time(timing.convergence_horizon(100)));
+
+    let t = k.now();
+    k.command_at(s, Cmd::SendData { ch: cha, tag: 1 }, t);
+    k.run_until(t + 2000);
+    let nodes: Vec<NodeId> = k.stats().deliveries_tagged(1).map(|d| d.node).collect();
+    assert_eq!(nodes, vec![NodeId(21)], "group A data stays in group A");
+}
+
+#[test]
+fn leaving_one_channel_keeps_the_other() {
+    let net = network(3);
+    let s = NodeId(18);
+    let cha = Channel::new(s, GroupAddr(1));
+    let chb = Channel::new(s, GroupAddr(2));
+    let timing = Timing::default();
+    let r = NodeId(26); // subscribes to both, leaves one
+    let mut k = Kernel::new(net, Hbh::new(timing), 3);
+    k.command_at(s, Cmd::StartSource(cha), Time::ZERO);
+    k.command_at(s, Cmd::StartSource(chb), Time::ZERO);
+    k.command_at(r, Cmd::Join(cha), Time(0));
+    k.command_at(r, Cmd::Join(chb), Time(0));
+    k.run_until(Time(1000));
+    k.command_at(r, Cmd::Leave(cha), Time(1000));
+    k.run_until(Time(1000 + 4 * timing.t2 + timing.convergence_horizon(0)));
+
+    let t = k.now();
+    k.command_at(s, Cmd::SendData { ch: cha, tag: 1 }, t);
+    k.command_at(s, Cmd::SendData { ch: chb, tag: 2 }, t);
+    k.run_until(t + 2000);
+    assert_eq!(k.stats().deliveries_tagged(1).count(), 0, "left channel A");
+    let nodes: Vec<NodeId> = k.stats().deliveries_tagged(2).map(|d| d.node).collect();
+    assert_eq!(nodes, vec![r], "still member of channel B");
+}
