@@ -12,7 +12,11 @@ fn stability_departures(c: &mut Criterion) {
         b.iter(|| {
             let cfg = stability::StabilityConfig::default_with_runs(2);
             let points = stability::evaluate(black_box(&cfg));
-            let hbh = cfg.protocols.iter().position(|&p| p == ProtocolKind::Hbh).unwrap();
+            let hbh = cfg
+                .protocols
+                .iter()
+                .position(|&p| p == ProtocolKind::Hbh)
+                .unwrap();
             assert_eq!(
                 points[hbh].route_changes.mean(),
                 0.0,

@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hbh_experiments::figures::eval::{
-    evaluate, health_violations, hbh_advantage_over_reunite, EvalConfig, Metric,
+    evaluate, hbh_advantage_over_reunite, health_violations, EvalConfig, Metric,
 };
 use hbh_experiments::scenario::TopologyKind;
 use std::hint::black_box;
@@ -16,13 +16,7 @@ fn cfg(topo: TopologyKind, runs: usize) -> EvalConfig {
     EvalConfig::paper(topo, runs)
 }
 
-fn bench_figure(
-    c: &mut Criterion,
-    name: &str,
-    topo: TopologyKind,
-    runs: usize,
-    metric: Metric,
-) {
+fn bench_figure(c: &mut Criterion, name: &str, topo: TopologyKind, runs: usize, metric: Metric) {
     c.bench_function(name, |b| {
         b.iter(|| {
             let cfg = cfg(topo, runs);
@@ -42,7 +36,13 @@ fn fig7_isp(c: &mut Criterion) {
 }
 
 fn fig7_rand50(c: &mut Criterion) {
-    bench_figure(c, "fig7_rand50_tree_cost", TopologyKind::Rand50, 2, Metric::Cost);
+    bench_figure(
+        c,
+        "fig7_rand50_tree_cost",
+        TopologyKind::Rand50,
+        2,
+        Metric::Cost,
+    );
 }
 
 fn fig8_isp(c: &mut Criterion) {
@@ -50,7 +50,13 @@ fn fig8_isp(c: &mut Criterion) {
 }
 
 fn fig8_rand50(c: &mut Criterion) {
-    bench_figure(c, "fig8_rand50_delay", TopologyKind::Rand50, 2, Metric::Delay);
+    bench_figure(
+        c,
+        "fig8_rand50_delay",
+        TopologyKind::Rand50,
+        2,
+        Metric::Delay,
+    );
 }
 
 criterion_group! {

@@ -26,7 +26,13 @@ fn routing_tables(c: &mut Criterion) {
 
 fn protocol_runs(c: &mut Criterion) {
     let timing = Timing::default();
-    let sc = build(TopologyKind::Isp, 10, 5, &timing, &ScenarioOptions::default());
+    let sc = build(
+        TopologyKind::Isp,
+        10,
+        5,
+        &timing,
+        &ScenarioOptions::default(),
+    );
     for kind in ProtocolKind::ALL {
         c.bench_function(&format!("converge_and_probe_{}", kind.name()), |b| {
             b.iter(|| {

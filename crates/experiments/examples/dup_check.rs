@@ -13,7 +13,13 @@ fn main() {
     let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(11);
     let group: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(6);
     let timing = Timing::default();
-    let sc = build(TopologyKind::Isp, group, seed, &timing, &ScenarioOptions::default());
+    let sc = build(
+        TopologyKind::Isp,
+        group,
+        seed,
+        &timing,
+        &ScenarioOptions::default(),
+    );
     println!("source: {}  receivers: {:?}", sc.source, sc.receivers);
 
     let (mut k, ch) = build_kernel(Reunite::new(timing), &sc);
@@ -42,7 +48,10 @@ fn main() {
     for rec in k.take_trace() {
         match &rec.what {
             TraceKind::Sent { to, pkt } if pkt.class == PacketClass::Data => {
-                println!("[{}] {} --data--> {} (dst {})", rec.at, rec.node, to, pkt.dst);
+                println!(
+                    "[{}] {} --data--> {} (dst {})",
+                    rec.at, rec.node, to, pkt.dst
+                );
             }
             TraceKind::Delivered { tag } => {
                 println!("[{}] {} DELIVER tag={tag}", rec.at, rec.node);

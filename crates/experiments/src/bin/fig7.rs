@@ -10,7 +10,7 @@
 //! (HBH's average cost advantage over REUNITE).
 
 use hbh_experiments::figures::eval::{
-    evaluate, health_violations, hbh_advantage_over_reunite, render, EvalConfig, Metric,
+    evaluate, hbh_advantage_over_reunite, health_violations, render, EvalConfig, Metric,
 };
 use hbh_experiments::report::Args;
 use hbh_experiments::scenario::TopologyKind;
@@ -28,9 +28,7 @@ fn main() {
     println!("{}", table.render());
     println!("{}", table.render_dat());
     if let Some(adv) = hbh_advantage_over_reunite(&cfg, &points, Metric::Cost) {
-        println!(
-            "# HBH tree-cost advantage over REUNITE, averaged over group sizes: {adv:.1}%"
-        );
+        println!("# HBH tree-cost advantage over REUNITE, averaged over group sizes: {adv:.1}%");
         println!("# (paper, §4.2.1: ≈5% on the ISP topology, ≈18% on the 50-node topology)");
     }
     if let Some(v) = health_violations(&cfg, &points) {

@@ -9,7 +9,7 @@
 //! and the §4.2.2 summary (HBH's average delay advantage over REUNITE).
 
 use hbh_experiments::figures::eval::{
-    evaluate, health_violations, hbh_advantage_over_reunite, render, EvalConfig, Metric,
+    evaluate, hbh_advantage_over_reunite, health_violations, render, EvalConfig, Metric,
 };
 use hbh_experiments::report::Args;
 use hbh_experiments::scenario::TopologyKind;

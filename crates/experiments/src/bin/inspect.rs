@@ -24,7 +24,11 @@ fn main() {
 
     let (mut k, ch) = build_kernel(Hbh::new(timing), &sc);
     let ok = converge(&mut k, &timing, sc.join_window);
-    println!("converged: {ok} at {} (changes: {})", k.now(), k.stats().structural_changes);
+    println!(
+        "converged: {ok} at {} (changes: {})",
+        k.now(),
+        k.stats().structural_changes
+    );
 
     let now = k.now();
     for node in k.network().graph().nodes() {
@@ -55,7 +59,10 @@ fn main() {
     for rec in k.take_trace() {
         match &rec.what {
             TraceKind::Sent { to, pkt } if pkt.class == PacketClass::Data => {
-                println!("[{}] {} --data--> {} (dst {})", rec.at, rec.node, to, pkt.dst);
+                println!(
+                    "[{}] {} --data--> {} (dst {})",
+                    rec.at, rec.node, to, pkt.dst
+                );
             }
             TraceKind::Delivered { tag } => {
                 println!("[{}] {} DELIVER tag={tag}", rec.at, rec.node);

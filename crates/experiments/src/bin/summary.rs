@@ -6,9 +6,7 @@
 //! cargo run --release -p hbh-experiments --bin summary -- --runs 30
 //! ```
 
-use hbh_experiments::figures::eval::{
-    evaluate, hbh_advantage_over_reunite, EvalConfig, Metric,
-};
+use hbh_experiments::figures::eval::{evaluate, hbh_advantage_over_reunite, EvalConfig, Metric};
 use hbh_experiments::figures::{asymmetry, clouds, qos, stability};
 use hbh_experiments::protocols::ProtocolKind;
 use hbh_experiments::report::Args;
@@ -21,7 +19,11 @@ fn main() {
 
     println!("# HBH reproduction summary ({runs} runs per point)\n");
 
-    for topo in [TopologyKind::Isp, TopologyKind::Rand50, TopologyKind::Waxman30] {
+    for topo in [
+        TopologyKind::Isp,
+        TopologyKind::Rand50,
+        TopologyKind::Waxman30,
+    ] {
         let mut cfg = EvalConfig::paper(topo, runs);
         cfg.base_seed = seed;
         // Middle-of-figure group sizes keep the summary fast.
@@ -86,7 +88,10 @@ fn main() {
     let inc: u64 = pts[0].point.per_protocol.iter().map(|p| p.incomplete).sum();
     println!("clouds: at 60% unicast-only routers, incomplete runs = {inc}");
 
-    let qcfg = qos::QosConfig { runs, ..qos::QosConfig::default_with_runs(runs) };
+    let qcfg = qos::QosConfig {
+        runs,
+        ..qos::QosConfig::default_with_runs(runs)
+    };
     let rep = qos::evaluate(&qcfg);
     println!(
         "qos: compliant-path fraction — HBH {:.2}, REUNITE {:.2}, PIM-SS {:.2} ({} admitted runs)",

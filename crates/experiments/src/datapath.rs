@@ -26,16 +26,11 @@ impl DataTransits {
     pub fn from_trace<M: Clone + std::fmt::Debug>(
         trace: &[hbh_sim_core::trace::TraceRecord<M>],
         tag: u64,
-    ) -> Self
-    where
-        M: Clone,
-    {
+    ) -> Self {
         let mut out = DataTransits::default();
         for rec in trace {
             match &rec.what {
-                TraceKind::Sent { to, pkt }
-                    if pkt.class == PacketClass::Data && pkt.tag == tag =>
-                {
+                TraceKind::Sent { to, pkt } if pkt.class == PacketClass::Data && pkt.tag == tag => {
                     *out.links.entry((rec.node, *to)).or_insert(0) += 1;
                 }
                 TraceKind::Delivered { tag: t } if *t == tag => {
@@ -110,7 +105,13 @@ mod tests {
 
     fn transits(seed: u64) -> (DataTransits, crate::scenario::Scenario) {
         let timing = Timing::default();
-        let sc = build(TopologyKind::Isp, 6, seed, &timing, &ScenarioOptions::default());
+        let sc = build(
+            TopologyKind::Isp,
+            6,
+            seed,
+            &timing,
+            &ScenarioOptions::default(),
+        );
         let (mut k, ch) = build_kernel(Hbh::new(timing), &sc);
         converge(&mut k, &timing, sc.join_window);
         (traced_probe(&mut k, ch, 1), sc)
@@ -119,7 +120,7 @@ mod tests {
     #[test]
     fn reconstructed_paths_are_exactly_the_unicast_shortest_paths() {
         let (tr, sc) = transits(3);
-        let tables = RoutingTables::compute(&sc.graph);
+        let tables = RoutingTables::compute(sc.graph());
         for &r in &sc.receivers {
             let path = tr.path_to(r).expect("receiver served");
             assert_eq!(
@@ -133,7 +134,13 @@ mod tests {
     #[test]
     fn total_copies_matches_kernel_accounting() {
         let timing = Timing::default();
-        let sc = build(TopologyKind::Isp, 8, 5, &timing, &ScenarioOptions::default());
+        let sc = build(
+            TopologyKind::Isp,
+            8,
+            5,
+            &timing,
+            &ScenarioOptions::default(),
+        );
         let (mut k, ch) = build_kernel(Hbh::new(timing), &sc);
         converge(&mut k, &timing, sc.join_window);
         let tr = traced_probe(&mut k, ch, 7);
@@ -143,6 +150,10 @@ mod tests {
     #[test]
     fn unserved_receiver_has_no_path() {
         let (tr, _) = transits(4);
-        assert_eq!(tr.path_to(hbh_topo::graph::NodeId(0)), None, "router never delivers");
+        assert_eq!(
+            tr.path_to(hbh_topo::graph::NodeId(0)),
+            None,
+            "router never delivers"
+        );
     }
 }

@@ -52,11 +52,22 @@ pub fn evaluate_sweep(cfg: &AsymmetryConfig) -> Vec<AsymmetryPoint> {
                 runs: cfg.runs,
                 base_seed: cfg.base_seed ^ ((a * 1000.0) as u64) << 20,
                 timing: cfg.timing,
-                opts: ScenarioOptions { asymmetry: a, ..ScenarioOptions::default() },
-                protocols: vec![ProtocolKind::PimSs, ProtocolKind::Reunite, ProtocolKind::Hbh],
+                opts: ScenarioOptions {
+                    asymmetry: a,
+                    ..ScenarioOptions::default()
+                },
+                protocols: vec![
+                    ProtocolKind::PimSs,
+                    ProtocolKind::Reunite,
+                    ProtocolKind::Hbh,
+                ],
             };
             let point = evaluate(&ecfg).remove(0);
-            AsymmetryPoint { asymmetry: a, point, cfg: ecfg }
+            AsymmetryPoint {
+                asymmetry: a,
+                point,
+                cfg: ecfg,
+            }
         })
         .collect()
 }
@@ -119,7 +130,10 @@ mod tests {
         .unwrap();
         // With symmetric costs, forward SPT = reverse SPT: both protocols
         // serve every receiver at the unicast distance.
-        assert!(adv.abs() < 1.0, "unexpected advantage {adv}% on symmetric network");
+        assert!(
+            adv.abs() < 1.0,
+            "unexpected advantage {adv}% on symmetric network"
+        );
     }
 
     #[test]
@@ -137,6 +151,9 @@ mod tests {
             Metric::Delay,
         )
         .unwrap();
-        assert!(adv > 0.0, "HBH should win on delay under asymmetry, got {adv}%");
+        assert!(
+            adv > 0.0,
+            "HBH should win on delay under asymmetry, got {adv}%"
+        );
     }
 }

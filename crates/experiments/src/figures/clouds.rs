@@ -53,11 +53,18 @@ pub fn evaluate_sweep(cfg: &CloudsConfig) -> Vec<CloudsPoint> {
                 runs: cfg.runs,
                 base_seed: cfg.base_seed ^ ((f * 1000.0) as u64) << 20,
                 timing: cfg.timing,
-                opts: ScenarioOptions { unicast_only_fraction: f, ..ScenarioOptions::default() },
+                opts: ScenarioOptions {
+                    unicast_only_fraction: f,
+                    ..ScenarioOptions::default()
+                },
                 protocols: ProtocolKind::RECURSIVE_UNICAST.to_vec(),
             };
             let point = evaluate(&ecfg).remove(0);
-            CloudsPoint { fraction: f, point, cfg: ecfg }
+            CloudsPoint {
+                fraction: f,
+                point,
+                cfg: ecfg,
+            }
         })
         .collect()
 }
@@ -108,7 +115,8 @@ mod tests {
         let pts = evaluate_sweep(&cfg);
         for (i, pp) in pts[0].point.per_protocol.iter().enumerate() {
             assert_eq!(
-                pp.incomplete, 0,
+                pp.incomplete,
+                0,
                 "{} dropped receivers behind unicast clouds",
                 pts[0].cfg.protocols[i].name()
             );
@@ -124,8 +132,7 @@ mod tests {
             ..CloudsConfig::default_with_runs(6)
         };
         let pts = evaluate_sweep(&cfg);
-        let hbh_cost =
-            |p: &CloudsPoint| p.point.per_protocol[1].cost.mean();
+        let hbh_cost = |p: &CloudsPoint| p.point.per_protocol[1].cost.mean();
         assert!(
             hbh_cost(&pts[1]) > hbh_cost(&pts[0]),
             "displaced branching should cost extra copies: {} vs {}",

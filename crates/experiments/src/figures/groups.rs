@@ -43,7 +43,11 @@ pub fn build_multi(groups: usize, receivers_per_group: usize, seed: u64) -> Mult
             (Channel::primary(s), rx)
         })
         .collect();
-    MultiGroupScenario { net: Network::new(g), channels, seed }
+    MultiGroupScenario {
+        net: Network::new(g),
+        channels,
+        seed,
+    }
 }
 
 /// Outcome for one protocol on one multi-group scenario.
@@ -91,8 +95,7 @@ where
     let t0 = k.now();
     let periods = 10;
     k.run_until(t0 + periods * timing.tree_period);
-    let control_per_period =
-        (k.stats().control_copies() - c0) as f64 / periods as f64;
+    let control_per_period = (k.stats().control_copies() - c0) as f64 / periods as f64;
 
     // Aggregate state inventory.
     let mut fwd_entries = 0;
@@ -117,7 +120,11 @@ where
             complete += 1;
         }
     }
-    MultiGroupOutcome { fwd_entries, control_per_period, complete_channels: complete }
+    MultiGroupOutcome {
+        fwd_entries,
+        control_per_period,
+        complete_channels: complete,
+    }
 }
 
 pub struct GroupsConfig {
@@ -153,18 +160,20 @@ pub fn evaluate(cfg: &GroupsConfig) -> Vec<(usize, Vec<GroupsPoint>)> {
     cfg.group_counts
         .iter()
         .map(|&g| {
-            let mut acc = vec![GroupsPoint::default(); 3];
-            for run in 0..cfg.runs {
+            let per_run = crate::parallel::map_runs(cfg.runs, |run| {
                 let sc = build_multi(
                     g,
                     cfg.receivers_per_group,
-                    cfg.base_seed ^ (g as u64) << 28 ^ run as u64,
+                    (cfg.base_seed ^ ((g as u64) << 28)) ^ run as u64,
                 );
-                let outs = [
+                [
                     run_multi(Hbh::new(cfg.timing), &sc, &cfg.timing),
                     run_multi(Reunite::new(cfg.timing), &sc, &cfg.timing),
                     run_multi(Pim::source_specific(cfg.timing), &sc, &cfg.timing),
-                ];
+                ]
+            });
+            let mut acc = vec![GroupsPoint::default(); 3];
+            for outs in per_run {
                 for (p, o) in acc.iter_mut().zip(outs) {
                     p.fwd_entries.add(o.fwd_entries as f64);
                     p.control.add(o.control_per_period);
@@ -213,7 +222,10 @@ mod tests {
         for (name, o) in [
             ("HBH", run_multi(Hbh::new(timing), &sc, &timing)),
             ("REUNITE", run_multi(Reunite::new(timing), &sc, &timing)),
-            ("PIM-SS", run_multi(Pim::source_specific(timing), &sc, &timing)),
+            (
+                "PIM-SS",
+                run_multi(Pim::source_specific(timing), &sc, &timing),
+            ),
         ] {
             assert_eq!(o.complete_channels, 6, "{name} dropped a channel");
             assert!(o.fwd_entries > 0);

@@ -64,17 +64,23 @@ pub fn evaluate(cfg: &OverheadConfig) -> Vec<(usize, Vec<Summary>)> {
     cfg.sizes
         .iter()
         .map(|&m| {
-            let mut acc = vec![Summary::default(); cfg.protocols.len()];
-            for run in 0..cfg.runs {
+            let per_run = crate::parallel::map_runs(cfg.runs, |run| {
                 let sc = build(
                     cfg.topo,
                     m,
-                    cfg.base_seed ^ (m as u64) << 24 ^ run as u64,
+                    (cfg.base_seed ^ ((m as u64) << 24)) ^ run as u64,
                     &cfg.timing,
                     &ScenarioOptions::default(),
                 );
-                for (i, &kind) in cfg.protocols.iter().enumerate() {
-                    acc[i].add(dispatch(kind, &sc, &cfg.timing, &OverheadStudy));
+                cfg.protocols
+                    .iter()
+                    .map(|&kind| dispatch(kind, &sc, &cfg.timing, &OverheadStudy))
+                    .collect::<Vec<_>>()
+            });
+            let mut acc = vec![Summary::default(); cfg.protocols.len()];
+            for outcomes in per_run {
+                for (a, o) in acc.iter_mut().zip(outcomes) {
+                    a.add(o);
                 }
             }
             (m, acc)
@@ -96,7 +102,10 @@ pub fn render(cfg: &OverheadConfig, rows: &[(usize, Vec<Summary>)]) -> Table {
     for (m, points) in rows {
         t.row(
             m.to_string(),
-            points.iter().map(|s| Table::cell(s.mean(), s.ci95())).collect(),
+            points
+                .iter()
+                .map(|s| Table::cell(s.mean(), s.ci95()))
+                .collect(),
         );
     }
     t
@@ -123,10 +132,18 @@ mod tests {
 
     #[test]
     fn every_protocol_has_nonzero_steady_state_overhead() {
-        let cfg = OverheadConfig { sizes: vec![6], runs: 2, ..OverheadConfig::default_with_runs(2) };
+        let cfg = OverheadConfig {
+            sizes: vec![6],
+            runs: 2,
+            ..OverheadConfig::default_with_runs(2)
+        };
         let rows = evaluate(&cfg);
         for (i, s) in rows[0].1.iter().enumerate() {
-            assert!(s.mean() > 0.0, "{} shows no refresh traffic", cfg.protocols[i].name());
+            assert!(
+                s.mean() > 0.0,
+                "{} shows no refresh traffic",
+                cfg.protocols[i].name()
+            );
         }
     }
 }

@@ -65,7 +65,7 @@ impl QosConfig {
 /// Builds the constrained network for a scenario; `None` if the channel
 /// is not admissible under the bandwidth floor.
 fn admitted_network(sc: &Scenario, min_bw: Bandwidth, seed: u64) -> Option<Network> {
-    let mut graph = sc.graph.clone();
+    let mut graph = sc.graph().clone();
     costs::assign_backbone_bandwidths(&mut graph, 1, 10, &mut StdRng::seed_from_u64(seed ^ 0xB0));
     let tables = qos::constrained_tables(&graph, min_bw);
     if !qos::channel_admitted(&tables, sc.source, &sc.receivers) {
@@ -91,7 +91,9 @@ fn run_one<P: Protocol<Command = Cmd>>(
     let transits = traced_probe(&mut k, ch, 1);
     let mut out = QosOutcome::default();
     for &r in &sc.receivers {
-        let Some(path) = transits.path_to(r) else { continue };
+        let Some(path) = transits.path_to(r) else {
+            continue;
+        };
         out.served += 1;
         if qos::path_is_compliant(k.network().graph(), &path, min_bw) {
             out.compliant += 1;
@@ -116,24 +118,53 @@ pub struct QosReport {
 pub const QOS_PROTOCOL_NAMES: [&str; 3] = ["HBH", "REUNITE", "PIM-SS"];
 
 pub fn evaluate(cfg: &QosConfig) -> QosReport {
+    // `None` marks a run whose channel was not admissible under the floor.
+    let per_run = crate::parallel::map_runs(cfg.runs, |run| {
+        let seed = cfg.base_seed ^ ((run as u64) << 18);
+        let sc = build(
+            cfg.topo,
+            cfg.group_size,
+            seed,
+            &cfg.timing,
+            &ScenarioOptions::default(),
+        );
+        let net = admitted_network(&sc, cfg.min_bw, seed)?;
+        let outcomes = [
+            run_one(
+                Hbh::new(cfg.timing),
+                net.clone(),
+                &sc,
+                &cfg.timing,
+                cfg.min_bw,
+            ),
+            run_one(
+                Reunite::new(cfg.timing),
+                net.clone(),
+                &sc,
+                &cfg.timing,
+                cfg.min_bw,
+            ),
+            run_one(
+                Pim::source_specific(cfg.timing),
+                net,
+                &sc,
+                &cfg.timing,
+                cfg.min_bw,
+            ),
+        ];
+        Some((sc.receivers.len(), outcomes))
+    });
     let mut points = vec![QosPoint::default(); 3];
     let mut admitted_runs = 0;
     let mut skipped = 0;
-    for run in 0..cfg.runs {
-        let seed = cfg.base_seed ^ (run as u64) << 18;
-        let sc = build(cfg.topo, cfg.group_size, seed, &cfg.timing, &ScenarioOptions::default());
-        let Some(net) = admitted_network(&sc, cfg.min_bw, seed) else {
+    for entry in per_run {
+        let Some((receivers, outcomes)) = entry else {
             skipped += 1;
             continue;
         };
         admitted_runs += 1;
-        let outcomes = [
-            run_one(Hbh::new(cfg.timing), net.clone(), &sc, &cfg.timing, cfg.min_bw),
-            run_one(Reunite::new(cfg.timing), net.clone(), &sc, &cfg.timing, cfg.min_bw),
-            run_one(Pim::source_specific(cfg.timing), net, &sc, &cfg.timing, cfg.min_bw),
-        ];
         for (p, o) in points.iter_mut().zip(outcomes) {
-            let n = sc.receivers.len() as f64;
+            let n = receivers as f64;
             p.served_frac.add(o.served as f64 / n);
             p.compliant_frac.add(if o.served == 0 {
                 0.0
@@ -142,7 +173,11 @@ pub fn evaluate(cfg: &QosConfig) -> QosReport {
             });
         }
     }
-    QosReport { points, admitted_runs, skipped_runs: skipped }
+    QosReport {
+        points,
+        admitted_runs,
+        skipped_runs: skipped,
+    }
 }
 
 pub fn render(cfg: &QosConfig, report: &QosReport) -> Table {
@@ -183,13 +218,28 @@ mod tests {
 
     #[test]
     fn recursive_unicast_is_fully_compliant_pim_is_not() {
-        let cfg = QosConfig { runs: 8, ..QosConfig::default_with_runs(8) };
+        let cfg = QosConfig {
+            runs: 8,
+            ..QosConfig::default_with_runs(8)
+        };
         let r = evaluate(&cfg);
-        assert!(r.admitted_runs >= 3, "too few admitted runs ({})", r.admitted_runs);
+        assert!(
+            r.admitted_runs >= 3,
+            "too few admitted runs ({})",
+            r.admitted_runs
+        );
         let [hbh, reunite, pim] = [&r.points[0], &r.points[1], &r.points[2]];
         assert_eq!(hbh.served_frac.mean(), 1.0, "HBH must serve everyone");
-        assert_eq!(hbh.compliant_frac.mean(), 1.0, "HBH paths compliant by construction");
-        assert_eq!(reunite.compliant_frac.mean(), 1.0, "REUNITE data is routed unicast too");
+        assert_eq!(
+            hbh.compliant_frac.mean(),
+            1.0,
+            "HBH paths compliant by construction"
+        );
+        assert_eq!(
+            reunite.compliant_frac.mean(),
+            1.0,
+            "REUNITE data is routed unicast too"
+        );
         assert!(
             pim.compliant_frac.mean() < 1.0,
             "PIM's reverse-direction data should violate the floor sometimes ({})",

@@ -61,24 +61,27 @@ impl Study for DepartureStudy {
         let churn = k.stats().structural_changes - churn_before;
 
         let after = traced_probe(&mut k, ch, 2);
-        let survivors: Vec<_> =
-            scenario.receivers.iter().copied().filter(|&r| r != leaver).collect();
-        let survivors_served =
-            survivors.iter().all(|r| after.delivered.contains_key(r));
+        let survivors: Vec<_> = scenario
+            .receivers
+            .iter()
+            .copied()
+            .filter(|&r| r != leaver)
+            .collect();
+        let survivors_served = survivors.iter().all(|r| after.delivered.contains_key(r));
         let route_changes = survivors
             .iter()
             .filter(|&&r| before.path_to(r) != after.path_to(r))
             .count();
-        DepartureOutcome { churn, route_changes, survivors_served }
+        DepartureOutcome {
+            churn,
+            route_changes,
+            survivors_served,
+        }
     }
 }
 
 /// Runs the departure study for one protocol on one scenario.
-pub fn run_departure(
-    kind: ProtocolKind,
-    scenario: &Scenario,
-    timing: &Timing,
-) -> DepartureOutcome {
+pub fn run_departure(kind: ProtocolKind, scenario: &Scenario, timing: &Timing) -> DepartureOutcome {
     dispatch(kind, scenario, timing, &DepartureStudy)
 }
 
@@ -113,21 +116,26 @@ impl StabilityConfig {
 }
 
 pub fn evaluate(cfg: &StabilityConfig) -> Vec<StabilityPoint> {
-    let mut acc = vec![StabilityPoint::default(); cfg.protocols.len()];
-    for run in 0..cfg.runs {
+    let per_run = crate::parallel::map_runs(cfg.runs, |run| {
         let sc = build(
             cfg.topo,
             cfg.group_size,
-            cfg.base_seed ^ (run as u64) << 16,
+            cfg.base_seed ^ ((run as u64) << 16),
             &cfg.timing,
             &ScenarioOptions::default(),
         );
-        for (i, &kind) in cfg.protocols.iter().enumerate() {
-            let o = run_departure(kind, &sc, &cfg.timing);
-            acc[i].churn.add(o.churn as f64);
-            acc[i].route_changes.add(o.route_changes as f64);
+        cfg.protocols
+            .iter()
+            .map(|&kind| run_departure(kind, &sc, &cfg.timing))
+            .collect::<Vec<_>>()
+    });
+    let mut acc = vec![StabilityPoint::default(); cfg.protocols.len()];
+    for outcomes in per_run {
+        for (a, o) in acc.iter_mut().zip(outcomes) {
+            a.churn.add(o.churn as f64);
+            a.route_changes.add(o.route_changes as f64);
             if !o.survivors_served {
-                acc[i].failures += 1;
+                a.failures += 1;
             }
         }
     }
@@ -148,7 +156,10 @@ pub fn render(cfg: &StabilityConfig, points: &[StabilityPoint]) -> Table {
     );
     t.row(
         "state churn",
-        points.iter().map(|p| Table::cell(p.churn.mean(), p.churn.ci95())).collect(),
+        points
+            .iter()
+            .map(|p| Table::cell(p.churn.mean(), p.churn.ci95()))
+            .collect(),
     );
     t.row(
         "survivor route changes",
@@ -159,7 +170,10 @@ pub fn render(cfg: &StabilityConfig, points: &[StabilityPoint]) -> Table {
     );
     t.row(
         "failed runs",
-        points.iter().map(|p| format!("{:>8}", p.failures)).collect(),
+        points
+            .iter()
+            .map(|p| format!("{:>8}", p.failures))
+            .collect(),
     );
     t
 }
@@ -170,7 +184,10 @@ mod tests {
 
     #[test]
     fn departures_never_break_survivors() {
-        let cfg = StabilityConfig { runs: 3, ..StabilityConfig::default_with_runs(3) };
+        let cfg = StabilityConfig {
+            runs: 3,
+            ..StabilityConfig::default_with_runs(3)
+        };
         let points = evaluate(&cfg);
         for (i, p) in points.iter().enumerate() {
             assert_eq!(p.failures, 0, "{} broke survivors", cfg.protocols[i].name());

@@ -162,7 +162,13 @@ mod tests {
 
     fn counts(kind: ProtocolKind, m: usize, seed: u64) -> StateCounts {
         let timing = Timing::default();
-        let sc = build(TopologyKind::Isp, m, seed, &timing, &ScenarioOptions::default());
+        let sc = build(
+            TopologyKind::Isp,
+            m,
+            seed,
+            &timing,
+            &ScenarioOptions::default(),
+        );
         measure(kind, &sc, &timing)
     }
 
@@ -192,6 +198,9 @@ mod tests {
     fn reunite_also_concentrates_forwarding_state() {
         let reunite = counts(ProtocolKind::Reunite, 8, 5);
         let ss = counts(ProtocolKind::PimSs, 8, 5);
-        assert!(reunite.fwd_routers <= ss.fwd_routers, "{reunite:?} vs {ss:?}");
+        assert!(
+            reunite.fwd_routers <= ss.fwd_routers,
+            "{reunite:?} vs {ss:?}"
+        );
     }
 }

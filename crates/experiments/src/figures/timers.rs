@@ -45,7 +45,12 @@ impl Study for ConvergenceStudy {
         } else {
             delays.values().sum::<u64>() as f64 / delays.len() as f64
         };
-        TimerOutcome { converged_at, cost, avg_delay: avg, complete: delays.len() == expected }
+        TimerOutcome {
+            converged_at,
+            cost,
+            avg_delay: avg,
+            complete: delays.len() == expected,
+        }
     }
 }
 
@@ -53,7 +58,11 @@ impl Study for ConvergenceStudy {
 pub fn scaled_timing(scale: f64) -> Timing {
     let base = Timing::default();
     let t1 = ((base.t1 as f64) * scale).round() as u64;
-    Timing { t1, t2: 2 * t1, ..base }
+    Timing {
+        t1,
+        t2: 2 * t1,
+        ..base
+    }
 }
 
 pub struct TimersConfig {
@@ -91,22 +100,27 @@ pub fn evaluate(cfg: &TimersConfig) -> Vec<(f64, Vec<TimersPoint>)> {
         .iter()
         .map(|&scale| {
             let timing = scaled_timing(scale);
-            let mut acc = vec![TimersPoint::default(); cfg.protocols.len()];
-            for run in 0..cfg.runs {
+            let per_run = crate::parallel::map_runs(cfg.runs, |run| {
                 let sc = build(
                     cfg.topo,
                     cfg.group_size,
-                    cfg.base_seed ^ (run as u64) << 8,
+                    cfg.base_seed ^ ((run as u64) << 8),
                     &timing,
                     &ScenarioOptions::default(),
                 );
-                for (i, &kind) in cfg.protocols.iter().enumerate() {
-                    let o = dispatch(kind, &sc, &timing, &ConvergenceStudy);
-                    acc[i].converged_at.add(o.converged_at as f64);
-                    acc[i].cost.add(o.cost as f64);
-                    acc[i].delay.add(o.avg_delay);
+                cfg.protocols
+                    .iter()
+                    .map(|&kind| dispatch(kind, &sc, &timing, &ConvergenceStudy))
+                    .collect::<Vec<_>>()
+            });
+            let mut acc = vec![TimersPoint::default(); cfg.protocols.len()];
+            for outcomes in per_run {
+                for (a, o) in acc.iter_mut().zip(outcomes) {
+                    a.converged_at.add(o.converged_at as f64);
+                    a.cost.add(o.cost as f64);
+                    a.delay.add(o.avg_delay);
                     if !o.complete {
-                        acc[i].incomplete += 1;
+                        a.incomplete += 1;
                     }
                 }
             }

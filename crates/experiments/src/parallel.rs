@@ -1,0 +1,78 @@
+//! Chunked fan-out over independent run indices, shared by every figure
+//! module.
+//!
+//! All the paper's sweeps have the same shape — `runs` independent
+//! scenario draws whose outcomes are folded into per-point summaries — so
+//! one helper owns the scoped-thread plumbing. Results come back in run
+//! order regardless of thread scheduling, which keeps every aggregate
+//! bit-identical to a sequential evaluation.
+
+use std::thread;
+
+/// Runs `f(run)` for `run` in `0..runs` across the available cores and
+/// returns the results in run order.
+///
+/// Work is split into contiguous chunks (one per worker) so each thread's
+/// scenario stream matches the sequential order — that is what lets the
+/// per-thread routing-table cache in [`crate::scenario`] hit across group
+/// sizes. On a single-core host this degrades to a plain sequential loop
+/// with no thread spawn.
+///
+/// # Panics
+/// Propagates any panic from `f` (a worker panic fails the whole sweep,
+/// matching the sequential behaviour).
+pub fn map_runs<T, F>(runs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(runs.max(1));
+    if workers <= 1 {
+        return (0..runs).map(f).collect();
+    }
+    let chunk = runs.div_ceil(workers);
+    let f = &f;
+    let mut out: Vec<T> = Vec::with_capacity(runs);
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .filter_map(|w| {
+                let lo = w * chunk;
+                let hi = runs.min(lo + chunk);
+                (lo < hi).then(|| scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>()))
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("worker panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_run_order() {
+        let v = map_runs(17, |i| i * i);
+        assert_eq!(v, (0..17).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_runs_is_empty() {
+        assert!(map_runs(0, |i| i).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let _ = map_runs(4, |i| {
+            if i == 2 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

@@ -25,13 +25,16 @@ pub enum ProtocolKind {
 
 impl ProtocolKind {
     /// All four, in the paper's legend order.
-    pub const ALL: [ProtocolKind; 4] =
-        [ProtocolKind::PimSm, ProtocolKind::PimSs, ProtocolKind::Reunite, ProtocolKind::Hbh];
+    pub const ALL: [ProtocolKind; 4] = [
+        ProtocolKind::PimSm,
+        ProtocolKind::PimSs,
+        ProtocolKind::Reunite,
+        ProtocolKind::Hbh,
+    ];
 
     /// The recursive-unicast pair (protocols that tolerate unicast-only
     /// routers — the clouds ablation runs only these).
-    pub const RECURSIVE_UNICAST: [ProtocolKind; 2] =
-        [ProtocolKind::Reunite, ProtocolKind::Hbh];
+    pub const RECURSIVE_UNICAST: [ProtocolKind; 2] = [ProtocolKind::Reunite, ProtocolKind::Hbh];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -65,9 +68,9 @@ pub enum RpPolicy {
 /// Picks the PIM-SM rendez-vous point for a scenario under `policy`.
 pub fn pick_rp_with(scenario: &Scenario, policy: RpPolicy) -> NodeId {
     let routers: Vec<NodeId> = scenario
-        .graph
+        .graph()
         .routers()
-        .filter(|&r| scenario.graph.is_mcast_capable(r))
+        .filter(|&r| scenario.graph().is_mcast_capable(r))
         .collect();
     match policy {
         RpPolicy::Fixed(rp) => {
@@ -84,9 +87,10 @@ pub fn pick_rp_with(scenario: &Scenario, policy: RpPolicy) -> NodeId {
             // the total distance to all hosts. (A per-channel delay-optimal
             // search degenerates to the source's own access router, making
             // PIM-SM ≡ PIM-SS — provably, since every reverse path to a
-            // single-homed source decomposes through that router.)
-            let tables = hbh_routing::RoutingTables::compute(&scenario.graph);
-            let hosts: Vec<NodeId> = scenario.graph.hosts().collect();
+            // single-homed source decomposes through that router.) The
+            // scenario's shared tables already hold exactly these routes.
+            let tables = scenario.network().tables();
+            let hosts: Vec<NodeId> = scenario.graph().hosts().collect();
             routers
                 .iter()
                 .copied()
@@ -145,26 +149,44 @@ pub fn dispatch<S: Study>(
             study.run(k, ch, scenario, timing)
         }
         ProtocolKind::PimSm => {
-            let (k, ch) =
-                build_kernel(Pim::sparse_shared(pick_rp(scenario), *timing), scenario);
+            let (k, ch) = build_kernel(Pim::sparse_shared(pick_rp(scenario), *timing), scenario);
             study.run(k, ch, scenario, timing)
         }
     }
 }
 
 /// Runs the standard converge-then-probe experiment for one protocol.
-pub fn run_protocol(
-    kind: ProtocolKind,
-    scenario: &Scenario,
-    timing: &Timing,
-) -> ProbeOutcome {
+pub fn run_protocol(kind: ProtocolKind, scenario: &Scenario, timing: &Timing) -> ProbeOutcome {
     match kind {
         ProtocolKind::Hbh => run_probe(Hbh::new(*timing), scenario, timing),
         ProtocolKind::Reunite => run_probe(Reunite::new(*timing), scenario, timing),
         ProtocolKind::PimSs => run_probe(Pim::source_specific(*timing), scenario, timing),
-        ProtocolKind::PimSm => {
-            run_probe(Pim::sparse_shared(pick_rp(scenario), *timing), scenario, timing)
-        }
+        ProtocolKind::PimSm => run_probe(
+            Pim::sparse_shared(pick_rp(scenario), *timing),
+            scenario,
+            timing,
+        ),
+    }
+}
+
+/// [`run_protocol`] over a freshly computed network instead of the
+/// scenario's shared one. The route-sharing equivalence tests assert both
+/// paths produce identical outcomes.
+pub fn run_protocol_isolated(
+    kind: ProtocolKind,
+    scenario: &Scenario,
+    timing: &Timing,
+) -> ProbeOutcome {
+    use crate::runner::run_probe_isolated;
+    match kind {
+        ProtocolKind::Hbh => run_probe_isolated(Hbh::new(*timing), scenario, timing),
+        ProtocolKind::Reunite => run_probe_isolated(Reunite::new(*timing), scenario, timing),
+        ProtocolKind::PimSs => run_probe_isolated(Pim::source_specific(*timing), scenario, timing),
+        ProtocolKind::PimSm => run_probe_isolated(
+            Pim::sparse_shared(pick_rp(scenario), *timing),
+            scenario,
+            timing,
+        ),
     }
 }
 
@@ -175,7 +197,13 @@ mod tests {
 
     fn scenario(seed: u64) -> (Scenario, Timing) {
         let timing = Timing::default();
-        let sc = build(TopologyKind::Isp, 6, seed, &timing, &ScenarioOptions::default());
+        let sc = build(
+            TopologyKind::Isp,
+            6,
+            seed,
+            &timing,
+            &ScenarioOptions::default(),
+        );
         (sc, timing)
     }
 
@@ -200,26 +228,30 @@ mod tests {
         // Cross-validation against the analytic reverse SPT.
         let (sc, timing) = scenario(12);
         let o = run_protocol(ProtocolKind::PimSs, &sc, &timing);
-        let tables = hbh_routing::RoutingTables::compute(&sc.graph);
+        let tables = hbh_routing::RoutingTables::compute(sc.graph());
         let tree = hbh_routing::paths::reverse_spt(&tables, sc.source, &sc.receivers);
         for (&r, &measured) in &o.delays {
             assert_eq!(
                 Some(measured),
-                tree.delay_to(&sc.graph, r),
+                tree.delay_to(sc.graph(), r),
                 "receiver {r} delay mismatch vs analytic reverse SPT"
             );
         }
-        assert_eq!(o.cost as usize, tree.cost(), "cost = links of the reverse SPT");
+        assert_eq!(
+            o.cost as usize,
+            tree.cost(),
+            "cost = links of the reverse SPT"
+        );
     }
 
     #[test]
     fn hbh_delay_is_forward_shortest_path() {
         let (sc, timing) = scenario(13);
         let o = run_protocol(ProtocolKind::Hbh, &sc, &timing);
-        let tables = hbh_routing::RoutingTables::compute(&sc.graph);
+        let tables = hbh_routing::RoutingTables::compute(sc.graph());
         for (&r, &measured) in &o.delays {
             assert_eq!(
-                Some(u64::from(measured)),
+                Some(measured),
                 tables.dist(sc.source, r),
                 "receiver {r} not served on its shortest path"
             );
@@ -231,6 +263,6 @@ mod tests {
         let (sc, _) = scenario(14);
         let rp = pick_rp(&sc);
         assert_eq!(rp, pick_rp(&sc));
-        assert!(sc.graph.is_router(rp) && sc.graph.is_mcast_capable(rp));
+        assert!(sc.graph().is_router(rp) && sc.graph().is_mcast_capable(rp));
     }
 }

@@ -13,11 +13,7 @@ pub struct Table {
 }
 
 impl Table {
-    pub fn new(
-        title: impl Into<String>,
-        x_label: impl Into<String>,
-        columns: &[&str],
-    ) -> Self {
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, columns: &[&str]) -> Self {
         Table {
             title: title.into(),
             x_label: x_label.into(),
@@ -67,7 +63,13 @@ impl Table {
     /// whitespace, `#`-prefixed header).
     pub fn render_dat(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "# {} | {} {}", self.title, self.x_label, self.columns.join(" "));
+        let _ = writeln!(
+            out,
+            "# {} | {} {}",
+            self.title,
+            self.x_label,
+            self.columns.join(" ")
+        );
         for (label, cells) in &self.rows {
             let _ = write!(out, "{label}");
             for c in cells {
@@ -109,7 +111,11 @@ impl Args {
     }
 
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     pub fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
@@ -127,7 +133,11 @@ fn die(msg: &str, allowed: &[&str]) -> ! {
     if !allowed.is_empty() {
         eprintln!(
             "usage: [{}]",
-            allowed.iter().map(|a| format!("--{a} <v>")).collect::<Vec<_>>().join(" ")
+            allowed
+                .iter()
+                .map(|a| format!("--{a} <v>"))
+                .collect::<Vec<_>>()
+                .join(" ")
         );
     }
     std::process::exit(2);

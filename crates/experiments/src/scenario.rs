@@ -3,11 +3,13 @@
 
 use hbh_proto_base::membership::{join_schedule, sample_receivers};
 use hbh_proto_base::Timing;
-use hbh_sim_core::Time;
+use hbh_sim_core::{Network, Time};
 use hbh_topo::graph::{Graph, NodeId};
 use hbh_topo::{costs, isp, random};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use std::cell::RefCell;
+use std::collections::VecDeque;
 
 /// Seed that fixes the 50-node random topology across all runs (the paper
 /// simulates *a* random topology, varying costs and receivers per run).
@@ -60,9 +62,15 @@ impl TopologyKind {
 
 /// One fully specified experiment run: every protocol is evaluated on this
 /// exact draw (paired comparison).
+///
+/// The topology and its all-pairs unicast routes live in one shared,
+/// immutable [`Network`] built when the scenario is drawn. Every kernel in
+/// the paired comparison clones the `Network` (an `Arc` bump), so the
+/// expensive all-pairs Dijkstra runs exactly once per draw instead of once
+/// per protocol.
 #[derive(Clone, Debug)]
 pub struct Scenario {
-    pub graph: Graph,
+    network: Network,
     /// The source host.
     pub source: NodeId,
     /// Receivers, in sampling order.
@@ -72,6 +80,18 @@ pub struct Scenario {
     pub join_window: u64,
     /// Seed for protocol-internal randomness (e.g. PIM RP placement).
     pub seed: u64,
+}
+
+impl Scenario {
+    /// The topology this run draws over.
+    pub fn graph(&self) -> &Graph {
+        self.network.graph()
+    }
+
+    /// The shared topology + routing bundle (cloning is an `Arc` bump).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
 }
 
 /// Options beyond the paper defaults, used by the ablations.
@@ -94,8 +114,55 @@ pub struct ScenarioOptions {
 
 impl Default for ScenarioOptions {
     fn default() -> Self {
-        ScenarioOptions { asymmetry: 1.0, unicast_only_fraction: 0.0, join_window_periods: 20 }
+        ScenarioOptions {
+            asymmetry: 1.0,
+            unicast_only_fraction: 0.0,
+            join_window_periods: 20,
+        }
     }
+}
+
+/// Entries kept in the per-thread routing-table cache. Each entry holds an
+/// ISP-to-rand50-sized `Network` (tens of KB), so a few dozen is cheap and
+/// comfortably covers the figure sweeps' reuse pattern (the same
+/// `(topology, run seed)` draw revisited across group sizes).
+const NETWORK_CACHE_CAP: usize = 32;
+
+/// Graph-shaping inputs: everything [`build`] feeds into the topology and
+/// cost draw. Group size and timing shape only membership, which is drawn
+/// *after* the graph from the same stream, so two builds agreeing on this
+/// key produce identical graphs.
+type NetworkCacheKey = (u8, u64, u64, u64);
+
+thread_local! {
+    /// Capacity-bounded FIFO of recently computed `Network`s, keyed by
+    /// `(topology, run seed, asymmetry, unicast-only fraction)`. Thread-
+    /// local so the parallel figure runners share within a worker without
+    /// any locking.
+    static NETWORK_CACHE: RefCell<VecDeque<(NetworkCacheKey, Network)>> =
+        const { RefCell::new(VecDeque::new()) };
+}
+
+/// Returns the shared `Network` for `graph`, reusing a cached instance if
+/// this thread already computed routing tables for an identical draw.
+fn shared_network(key: NetworkCacheKey, graph: Graph) -> Network {
+    NETWORK_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if let Some((_, net)) = cache.iter().find(|(k, _)| *k == key) {
+            debug_assert_eq!(
+                net.graph().undirected_links(),
+                graph.undirected_links(),
+                "network cache key collision"
+            );
+            return net.clone();
+        }
+        let net = Network::new(graph);
+        if cache.len() == NETWORK_CACHE_CAP {
+            cache.pop_front();
+        }
+        cache.push_back((key, net.clone()));
+        net
+    })
 }
 
 /// Builds run number `run_seed` of the experiment: the RNG stream is a
@@ -108,7 +175,7 @@ pub fn build(
     timing: &Timing,
     opts: &ScenarioOptions,
 ) -> Scenario {
-    let mut rng = StdRng::seed_from_u64(run_seed ^ 0x5EED_0000 + kind as u64);
+    let mut rng = StdRng::seed_from_u64(run_seed ^ (0x5EED_0000 + kind as u64));
     let (mut graph, source) = match kind {
         TopologyKind::Isp => (isp::isp_topology(), isp::SOURCE_HOST),
         TopologyKind::Rand50 => {
@@ -130,8 +197,7 @@ pub fn build(
         // The source's access router stays capable so the channel can form;
         // everything else may lose multicast capability.
         let source_router = graph.host_router(source);
-        let routers: Vec<NodeId> =
-            graph.routers().filter(|&r| r != source_router).collect();
+        let routers: Vec<NodeId> = graph.routers().filter(|&r| r != source_router).collect();
         for r in routers {
             if rng.random::<f64>() < opts.unicast_only_fraction {
                 graph.set_mcast_capable(r, false);
@@ -148,7 +214,21 @@ pub fn build(
     let receivers = sample_receivers(&pool, group_size, &mut rng);
     let join_window = opts.join_window_periods * timing.join_period;
     let join_times = join_schedule(&receivers, Time(0), join_window, &mut rng);
-    Scenario { graph, source, receivers, join_times, join_window, seed: run_seed }
+    let cache_key = (
+        kind as u8,
+        run_seed,
+        opts.asymmetry.to_bits(),
+        opts.unicast_only_fraction.to_bits(),
+    );
+    let network = shared_network(cache_key, graph);
+    Scenario {
+        network,
+        source,
+        receivers,
+        join_times,
+        join_window,
+        seed: run_seed,
+    }
 }
 
 #[cfg(test)]
@@ -161,7 +241,13 @@ mod tests {
 
     #[test]
     fn isp_scenario_shape() {
-        let s = build(TopologyKind::Isp, 8, 1, &timing(), &ScenarioOptions::default());
+        let s = build(
+            TopologyKind::Isp,
+            8,
+            1,
+            &timing(),
+            &ScenarioOptions::default(),
+        );
         assert_eq!(s.source, NodeId(18));
         assert_eq!(s.receivers.len(), 8);
         assert!(!s.receivers.contains(&s.source));
@@ -170,46 +256,96 @@ mod tests {
 
     #[test]
     fn rand50_topology_is_fixed_across_runs() {
-        let a = build(TopologyKind::Rand50, 5, 1, &timing(), &ScenarioOptions::default());
-        let b = build(TopologyKind::Rand50, 5, 2, &timing(), &ScenarioOptions::default());
+        let a = build(
+            TopologyKind::Rand50,
+            5,
+            1,
+            &timing(),
+            &ScenarioOptions::default(),
+        );
+        let b = build(
+            TopologyKind::Rand50,
+            5,
+            2,
+            &timing(),
+            &ScenarioOptions::default(),
+        );
         // Same adjacency (ignore costs): compare link endpoints.
-        let ends =
-            |g: &Graph| g.undirected_links().iter().map(|&(a, b, ..)| (a, b)).collect::<Vec<_>>();
-        assert_eq!(ends(&a.graph), ends(&b.graph));
+        let ends = |g: &Graph| {
+            g.undirected_links()
+                .iter()
+                .map(|&(a, b, ..)| (a, b))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(ends(a.graph()), ends(b.graph()));
     }
 
     #[test]
     fn different_run_seeds_change_costs_and_receivers() {
-        let a = build(TopologyKind::Isp, 8, 1, &timing(), &ScenarioOptions::default());
-        let b = build(TopologyKind::Isp, 8, 2, &timing(), &ScenarioOptions::default());
+        let a = build(
+            TopologyKind::Isp,
+            8,
+            1,
+            &timing(),
+            &ScenarioOptions::default(),
+        );
+        let b = build(
+            TopologyKind::Isp,
+            8,
+            2,
+            &timing(),
+            &ScenarioOptions::default(),
+        );
         assert!(
             a.receivers != b.receivers
-                || a.graph.undirected_links() != b.graph.undirected_links()
+                || a.graph().undirected_links() != b.graph().undirected_links()
         );
     }
 
     #[test]
     fn same_seed_is_reproducible() {
-        let a = build(TopologyKind::Isp, 8, 7, &timing(), &ScenarioOptions::default());
-        let b = build(TopologyKind::Isp, 8, 7, &timing(), &ScenarioOptions::default());
+        let a = build(
+            TopologyKind::Isp,
+            8,
+            7,
+            &timing(),
+            &ScenarioOptions::default(),
+        );
+        let b = build(
+            TopologyKind::Isp,
+            8,
+            7,
+            &timing(),
+            &ScenarioOptions::default(),
+        );
         assert_eq!(a.receivers, b.receivers);
-        assert_eq!(a.graph.undirected_links(), b.graph.undirected_links());
+        assert_eq!(a.graph().undirected_links(), b.graph().undirected_links());
         assert_eq!(a.join_times, b.join_times);
     }
 
     #[test]
     fn unicast_fraction_disables_routers_but_not_source_router() {
-        let opts = ScenarioOptions { unicast_only_fraction: 0.9, ..ScenarioOptions::default() };
+        let opts = ScenarioOptions {
+            unicast_only_fraction: 0.9,
+            ..ScenarioOptions::default()
+        };
         let s = build(TopologyKind::Isp, 4, 3, &timing(), &opts);
-        let source_router = s.graph.host_router(s.source);
-        assert!(s.graph.is_mcast_capable(source_router));
-        let disabled = s.graph.routers().filter(|&r| !s.graph.is_mcast_capable(r)).count();
+        let source_router = s.graph().host_router(s.source);
+        assert!(s.graph().is_mcast_capable(source_router));
+        let disabled = s
+            .graph()
+            .routers()
+            .filter(|&r| !s.graph().is_mcast_capable(r))
+            .count();
         assert!(disabled >= 10, "only {disabled} routers disabled at f=0.9");
     }
 
     #[test]
     fn paper_group_sizes_match_figures() {
-        assert_eq!(TopologyKind::Isp.paper_group_sizes(), vec![2, 4, 6, 8, 10, 12, 14, 16]);
+        assert_eq!(
+            TopologyKind::Isp.paper_group_sizes(),
+            vec![2, 4, 6, 8, 10, 12, 14, 16]
+        );
         assert_eq!(
             TopologyKind::Rand50.paper_group_sizes(),
             vec![5, 10, 15, 20, 25, 30, 35, 40, 45]
@@ -218,15 +354,67 @@ mod tests {
 
     #[test]
     fn waxman_scenario_builds_and_samples() {
-        let s = build(TopologyKind::Waxman30, 8, 2, &timing(), &ScenarioOptions::default());
+        let s = build(
+            TopologyKind::Waxman30,
+            8,
+            2,
+            &timing(),
+            &ScenarioOptions::default(),
+        );
         assert_eq!(s.source, NodeId(30));
         assert_eq!(s.receivers.len(), 8);
-        assert!(s.graph.routers().count() == 30 && s.graph.hosts().count() == 30);
+        assert!(s.graph().routers().count() == 30 && s.graph().hosts().count() == 30);
+    }
+
+    #[test]
+    fn same_draw_shares_one_network() {
+        // Same (kind, run seed, options) ⇒ the thread-local cache hands
+        // both scenarios the same Network allocation, even across group
+        // sizes (membership is drawn after the graph).
+        let a = build(
+            TopologyKind::Isp,
+            4,
+            77,
+            &timing(),
+            &ScenarioOptions::default(),
+        );
+        let b = build(
+            TopologyKind::Isp,
+            12,
+            77,
+            &timing(),
+            &ScenarioOptions::default(),
+        );
+        assert!(
+            std::ptr::eq(a.network().graph(), b.network().graph()),
+            "routing tables recomputed for an identical draw"
+        );
+    }
+
+    #[test]
+    fn different_options_do_not_share_networks() {
+        let asym = ScenarioOptions {
+            asymmetry: 0.0,
+            ..ScenarioOptions::default()
+        };
+        let a = build(
+            TopologyKind::Isp,
+            4,
+            78,
+            &timing(),
+            &ScenarioOptions::default(),
+        );
+        let b = build(TopologyKind::Isp, 4, 78, &timing(), &asym);
+        assert!(!std::ptr::eq(a.network().graph(), b.network().graph()));
     }
 
     #[test]
     fn parse_round_trips() {
-        for k in [TopologyKind::Isp, TopologyKind::Rand50, TopologyKind::Waxman30] {
+        for k in [
+            TopologyKind::Isp,
+            TopologyKind::Rand50,
+            TopologyKind::Waxman30,
+        ] {
             assert_eq!(TopologyKind::parse(k.name()), Some(k));
         }
         assert_eq!(TopologyKind::parse("nope"), None);

@@ -5,8 +5,8 @@ use crate::messages::{HbhMsg, HbhTimer};
 use crate::tables::{HbhMct, HbhMft};
 use hbh_proto_base::{Channel, Cmd, Timing};
 use hbh_sim_core::{Ctx, Packet, Protocol};
+use hbh_sim_core::{FastMap, FastSet};
 use hbh_topo::graph::NodeId;
-use std::collections::{HashMap, HashSet};
 
 /// The HBH protocol (configuration; per-node state in [`HbhNodeState`]).
 #[derive(Clone, Debug)]
@@ -26,14 +26,14 @@ impl Hbh {
 /// Per-node HBH state.
 #[derive(Default)]
 pub struct HbhNodeState {
-    mct: HashMap<Channel, HbhMct>,
-    mft: HashMap<Channel, HbhMft>,
+    mct: FastMap<Channel, HbhMct>,
+    mft: FastMap<Channel, HbhMft>,
     /// Receiver-agent subscriptions.
-    member: HashSet<Channel>,
+    member: FastSet<Channel>,
     /// Channels whose source tree timer is armed (source node only).
-    tree_armed: HashSet<Channel>,
+    tree_armed: FastSet<Channel>,
     /// Channels with an armed router sweep.
-    sweep_armed: HashSet<Channel>,
+    sweep_armed: FastSet<Channel>,
 }
 
 impl HbhNodeState {
@@ -94,7 +94,15 @@ impl Hbh {
         if to == ctx.node {
             return; // the trigger was our own emission looping back
         }
-        let pkt = Packet::control(ctx.node, to, HbhMsg::Fusion { ch, from: ctx.node, nodes });
+        let pkt = Packet::control(
+            ctx.node,
+            to,
+            HbhMsg::Fusion {
+                ch,
+                from: ctx.node,
+                nodes,
+            },
+        );
         ctx.send(pkt);
     }
 
@@ -113,6 +121,23 @@ impl Hbh {
 
     // --- join (Figure 9(a)) --------------------------------------------
 
+    /// Join-time mark repair (spec completion, `DESIGN.md` §5): a marked
+    /// entry is only serviceable while some live unmarked fusion sender
+    /// claims it in its coverage. If that sender decays — its own tables
+    /// lost to control loss, say — the mark would starve the subtree
+    /// *forever*, because the very joins that keep the marked entry alive
+    /// are intercepted right here and never reach anyone who could help.
+    /// The periodic join therefore re-validates the coverage and clears an
+    /// orphaned mark, restoring direct service; a later fusion from a
+    /// recovered branching node simply re-marks it.
+    fn repair_orphaned_mark(&self, mft: &mut HbhMft, who: NodeId, ctx: &mut HCtx<'_>) {
+        let now = ctx.now();
+        if mft.is_marked(who, now) && !mft.served_by_other(who, now) {
+            mft.unmark(who, now);
+            ctx.structural_change();
+        }
+    }
+
     fn join_at_source(
         &self,
         state: &mut HbhNodeState,
@@ -122,6 +147,7 @@ impl Hbh {
     ) {
         let now = ctx.now();
         let mft = state.mft.entry(ch).or_default();
+        self.repair_orphaned_mark(mft, who, ctx);
         if mft.refresh_or_insert(who, now, &self.timing) {
             ctx.structural_change();
         }
@@ -150,6 +176,7 @@ impl Hbh {
             // ourselves ("a branching router joins the group itself at
             // the next upstream branching router").
             Some(mft) if mft.contains(who, now) => {
+                self.repair_orphaned_mark(mft, who, ctx);
                 mft.refresh_or_insert(who, now, &self.timing);
                 self.send_join(ch, ctx.node, false, ctx);
             }
@@ -160,21 +187,15 @@ impl Hbh {
 
     // --- tree (Figure 9(c)) --------------------------------------------
 
-    fn tree_self_addressed(
-        &self,
-        state: &mut HbhNodeState,
-        ch: Channel,
-        ctx: &mut HCtx<'_>,
-    ) {
+    fn tree_self_addressed(&self, state: &mut HbhNodeState, ch: Channel, ctx: &mut HCtx<'_>) {
         // Rule (1): a branching node discards the tree message addressed
         // to itself and fans a tree message out to each (tree-eligible)
         // MFT node.
         let now = ctx.now();
-        let targets: Vec<NodeId> = match state.mft.get(&ch) {
-            Some(mft) => mft.tree_targets(now).collect(),
-            None => return, // table decayed; nothing to refresh
+        let Some(mft) = state.mft.get(&ch) else {
+            return; // table decayed; nothing to refresh
         };
-        for t in targets {
+        for t in mft.tree_targets(now) {
             self.send_tree(ch, t, ctx);
         }
     }
@@ -244,21 +265,18 @@ impl Hbh {
 
     // --- fusion (Figure 9(b)) ------------------------------------------
 
+    /// Handles a fusion addressed to this node (rule (1)'s transit
+    /// forwarding happens in `on_packet`, which gets to move the packet
+    /// on unchanged without cloning its node list).
     fn fusion_at_node(
         &self,
         state: &mut HbhNodeState,
-        pkt: Packet<HbhMsg>,
         ch: Channel,
         bp: NodeId,
         nodes: &[NodeId],
         ctx: &mut HCtx<'_>,
     ) {
         let now = ctx.now();
-        if pkt.dst != ctx.node {
-            // Rule (1): not addressed to us ⇒ forward upstream.
-            ctx.forward(pkt);
-            return;
-        }
         // Rule (2)–(4): we emitted the tree messages that triggered this
         // fusion, so the listed nodes should be our entries.
         let Some(mft) = state.mft.get_mut(&ch) else {
@@ -282,6 +300,16 @@ impl Hbh {
                 ctx.structural_change();
             }
         }
+        // Accepting the claim makes `bp` the data server for the listed
+        // nodes, so its own entry must be data-eligible — unless some
+        // data-reachable sender claims `bp` itself (coverage chains nest,
+        // so the claimant may in turn be marked-but-served), in which case
+        // data reaches `bp` transitively and the mark stands. Without
+        // this, a sender that was marked while its state decayed (control
+        // loss) re-marks its
+        // targets every refresh period yet never receives data: permanent
+        // starvation of the whole subtree.
+        self.repair_orphaned_mark(mft, bp, ctx);
         // Rules (3)/(4): install Bp stale (data-only), or refresh its t2
         // keeping t1 expired; subsume narrower senders.
         if mft.install_fusion_sender(bp, nodes, now, &self.timing) {
@@ -307,8 +335,7 @@ impl Hbh {
         let Some(mft) = state.mft.get(&ch) else {
             return; // decayed table: the upstream sender will soon notice
         };
-        let targets: Vec<NodeId> = mft.data_targets(now).collect();
-        for t in targets {
+        for t in mft.data_targets(now) {
             ctx.send(pkt.copy_to(t));
         }
     }
@@ -330,8 +357,7 @@ impl Hbh {
             ctx.structural_change();
             return;
         }
-        let targets: Vec<NodeId> = mft.tree_targets(now).collect();
-        for t in targets {
+        for t in mft.tree_targets(now) {
             self.send_tree(ch, t, ctx);
         }
         ctx.set_timer(HbhTimer::TreeRefresh(ch), self.timing.tree_period);
@@ -348,8 +374,7 @@ impl Hbh {
         let Some(mft) = state.mft.get(&ch) else {
             return; // no receivers
         };
-        let targets: Vec<NodeId> = mft.data_targets(now).collect();
-        for t in targets {
+        for t in mft.data_targets(now) {
             let pkt = Packet::data(ctx.node, t, tag, now, HbhMsg::Data { ch });
             ctx.send(pkt);
         }
@@ -362,16 +387,15 @@ impl Protocol for Hbh {
     type Command = Cmd;
     type NodeState = HbhNodeState;
 
-    fn on_packet(
-        &self,
-        state: &mut HbhNodeState,
-        pkt: Packet<HbhMsg>,
-        ctx: &mut HCtx<'_>,
-    ) {
+    fn on_packet(&self, state: &mut HbhNodeState, pkt: Packet<HbhMsg>, ctx: &mut HCtx<'_>) {
         let here = ctx.node;
         let is_host = ctx.net().graph().is_host(here);
-        match pkt.payload.clone() {
+        // Match by reference and copy out the small fields: cloning the
+        // payload here would heap-copy every transiting fusion's node
+        // list just to forward the packet unchanged.
+        match &pkt.payload {
             HbhMsg::Join { ch, who, initial } => {
+                let (ch, who, initial) = (*ch, *who, *initial);
                 if pkt.dst == here {
                     debug_assert_eq!(here, ch.source, "joins are addressed to the source");
                     self.join_at_source(state, ch, who, ctx);
@@ -380,7 +404,11 @@ impl Protocol for Hbh {
                 }
             }
             HbhMsg::Tree { ch, target } => {
-                debug_assert_eq!(pkt.dst, target, "tree messages are addressed to their target");
+                let (ch, target) = (*ch, *target);
+                debug_assert_eq!(
+                    pkt.dst, target,
+                    "tree messages are addressed to their target"
+                );
                 if pkt.dst == here {
                     if is_host {
                         // Receiver end: consume (liveness indication only).
@@ -391,10 +419,19 @@ impl Protocol for Hbh {
                     self.tree_in_transit(state, pkt, ch, target, ctx);
                 }
             }
-            HbhMsg::Fusion { ch, from, nodes } => {
-                self.fusion_at_node(state, pkt, ch, from, &nodes, ctx);
+            HbhMsg::Fusion { .. } => {
+                if pkt.dst != here {
+                    // Rule (1): not addressed to us ⇒ forward upstream.
+                    ctx.forward(pkt);
+                } else {
+                    let HbhMsg::Fusion { ch, from, nodes } = pkt.payload else {
+                        unreachable!("arm matched above")
+                    };
+                    self.fusion_at_node(state, ch, from, &nodes, ctx);
+                }
             }
             HbhMsg::Data { ch } => {
+                let ch = *ch;
                 if pkt.dst == here {
                     if is_host {
                         if state.member.contains(&ch) {

@@ -46,7 +46,7 @@ fn single_receiver_joins_at_source() {
     for &r in &routers {
         let st = k.state(r);
         assert!(
-            st.mct(ch).map_or(false, |m| m.node() == h) || st.is_branching(ch),
+            st.mct(ch).is_some_and(|m| m.node() == h) || st.is_branching(ch),
             "router {r} has no tree state"
         );
     }
@@ -62,7 +62,7 @@ fn single_receiver_gets_data_at_unicast_distance() {
     k.run_until(Time(700));
     let d: Vec<_> = k.stats().deliveries_tagged(1).collect();
     assert_eq!(d.len(), 1);
-    assert_eq!(u64::from(d[0].delay()), k.network().dist(s, h).unwrap());
+    assert_eq!(d[0].delay(), k.network().dist(s, h).unwrap());
 }
 
 #[test]
@@ -85,7 +85,7 @@ fn fig5_builds_shortest_path_tree_under_asymmetry() {
     for d in deliveries {
         let spt = k.network().dist(s, d.node).unwrap();
         assert_eq!(
-            u64::from(d.delay()),
+            d.delay(),
             spt,
             "receiver {} not on its shortest path",
             d.node
@@ -110,13 +110,22 @@ fn fig5_converged_structure_matches_walkthrough() {
     let s_mft = k.state(s).mft(ch).expect("source MFT");
     let s_data: Vec<NodeId> = s_mft.data_targets(now).collect();
     assert!(s_data.contains(&h1), "S forwards to H1: {s_data:?}");
-    assert!(s_data.contains(&r2), "r2 stays joined at S (its SPT is disjoint)");
-    assert!(!s_data.contains(&r1) && !s_data.contains(&r3), "r1/r3 re-homed below");
+    assert!(
+        s_data.contains(&r2),
+        "r2 stays joined at S (its SPT is disjoint)"
+    );
+    assert!(
+        !s_data.contains(&r1) && !s_data.contains(&r3),
+        "r1/r3 re-homed below"
+    );
 
     let h1_mft = k.state(h1).mft(ch).expect("H1 branching");
     let h1_data: Vec<NodeId> = h1_mft.data_targets(now).collect();
     assert_eq!(h1_data, vec![h3], "H1 forwards only to H3");
-    assert!(h1_mft.is_marked(r1, now), "r1 kept as a marked (tree-only) entry at H1");
+    assert!(
+        h1_mft.is_marked(r1, now),
+        "r1 kept as a marked (tree-only) entry at H1"
+    );
 
     let h3_mft = k.state(h3).mft(ch).expect("H3 branching");
     let mut h3_data: Vec<NodeId> = h3_mft.data_targets(now).collect();
@@ -144,7 +153,11 @@ fn fig3_fusion_suppresses_duplicate_copies() {
     for (link, copies) in &per_link {
         assert_eq!(*copies, 1, "duplicate copy on {link:?}");
     }
-    assert_eq!(per_link[&(r1n, r6)], 1, "exactly one copy on the shared link");
+    assert_eq!(
+        per_link[&(r1n, r6)],
+        1,
+        "exactly one copy on the shared link"
+    );
     // Structure: R6 is the branching node; R1 holds it as a stale
     // (data-only) entry and the receivers as marked (tree-only) entries.
     let now = k.now();
@@ -155,7 +168,10 @@ fn fig3_fusion_suppresses_duplicate_copies() {
     let r1_mft = k.state(r1n).mft(ch).expect("R1 has the splice entry");
     assert_eq!(r1_mft.data_targets(now).collect::<Vec<_>>(), vec![r6]);
     assert!(r1_mft.is_marked(r1, now) && r1_mft.is_marked(r2, now));
-    assert!(r1_mft.is_stale(r6, now), "fusion sender held stale (data-only)");
+    assert!(
+        r1_mft.is_stale(r6, now),
+        "fusion sender held stale (data-only)"
+    );
 }
 
 #[test]
@@ -171,7 +187,7 @@ fn fig3_delays_are_shortest_path() {
     k.command_at(s, Cmd::SendData { ch, tag: 4 }, t);
     k.run_until(t + 100);
     for d in k.stats().deliveries_tagged(4) {
-        assert_eq!(u64::from(d.delay()), k.network().dist(s, d.node).unwrap());
+        assert_eq!(d.delay(), k.network().dist(s, d.node).unwrap());
     }
 }
 
@@ -191,7 +207,12 @@ fn departure_does_not_touch_other_receivers_route() {
     let t1 = k.now();
     k.command_at(s, Cmd::SendData { ch, tag: 10 }, t1);
     k.run_until(t1 + 100);
-    let before = k.stats().deliveries_tagged(10).find(|d| d.node == r1).unwrap().delay();
+    let before = k
+        .stats()
+        .deliveries_tagged(10)
+        .find(|d| d.node == r1)
+        .unwrap()
+        .delay();
 
     k.command_at(r3, Cmd::Leave(ch), k.now());
     let timing = Timing::default();
@@ -244,7 +265,7 @@ fn rejoin_after_teardown_rebuilds_spt() {
     k.run_until(t + 100);
     let d: Vec<_> = k.stats().deliveries_tagged(12).collect();
     assert_eq!(d.len(), 1);
-    assert_eq!(u64::from(d[0].delay()), k.network().dist(s, r2).unwrap());
+    assert_eq!(d[0].delay(), k.network().dist(s, r2).unwrap());
 }
 
 #[test]
@@ -270,8 +291,7 @@ fn unicast_only_router_is_crossed_transparently() {
     let t = k.now();
     k.command_at(s, Cmd::SendData { ch, tag: 13 }, t);
     k.run_until(t + 100);
-    let mut nodes: Vec<NodeId> =
-        k.stats().deliveries_tagged(13).map(|d| d.node).collect();
+    let mut nodes: Vec<NodeId> = k.stats().deliveries_tagged(13).map(|d| d.node).collect();
     nodes.sort();
     assert_eq!(nodes, vec![h1, h2]);
     // b held no protocol state.
@@ -295,7 +315,14 @@ fn no_drops_and_no_duplicate_deliveries_in_steady_state() {
     assert_eq!(k.stats().drops, 0);
     for probe in 0..3u64 {
         let t = k.now();
-        k.command_at(s, Cmd::SendData { ch, tag: 100 + probe }, t);
+        k.command_at(
+            s,
+            Cmd::SendData {
+                ch,
+                tag: 100 + probe,
+            },
+            t,
+        );
         k.run_until(t + 120);
         assert_eq!(
             k.stats().deliveries_tagged(100 + probe).count(),
@@ -336,7 +363,11 @@ fn second_channel_from_same_source_is_independent() {
     settle(&mut k, 800);
     k.command_at(s, Cmd::SendData { ch: ch2, tag: 5 }, Time(800));
     k.run_until(Time(900));
-    assert_eq!(k.stats().deliveries_tagged(5).count(), 0, "no receivers on ch2");
+    assert_eq!(
+        k.stats().deliveries_tagged(5).count(),
+        0,
+        "no receivers on ch2"
+    );
     k.command_at(s, Cmd::SendData { ch: ch1, tag: 6 }, Time(900));
     k.run_until(Time(1000));
     assert_eq!(k.stats().deliveries_tagged(6).count(), 1);

@@ -77,10 +77,30 @@ mod tests {
     fn channel_accessor_covers_variants() {
         let ch = Channel::primary(NodeId(3));
         assert_eq!(HbhMsg::Data { ch }.channel(), ch);
-        assert_eq!(HbhMsg::Join { ch, who: NodeId(1), initial: true }.channel(), ch);
-        assert_eq!(HbhMsg::Tree { ch, target: NodeId(1) }.channel(), ch);
         assert_eq!(
-            HbhMsg::Fusion { ch, from: NodeId(1), nodes: vec![NodeId(2)] }.channel(),
+            HbhMsg::Join {
+                ch,
+                who: NodeId(1),
+                initial: true
+            }
+            .channel(),
+            ch
+        );
+        assert_eq!(
+            HbhMsg::Tree {
+                ch,
+                target: NodeId(1)
+            }
+            .channel(),
+            ch
+        );
+        assert_eq!(
+            HbhMsg::Fusion {
+                ch,
+                from: NodeId(1),
+                nodes: vec![NodeId(2)]
+            }
+            .channel(),
             ch
         );
     }

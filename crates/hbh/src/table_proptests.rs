@@ -51,7 +51,7 @@ proptest! {
                 Op::Reap => {
                     mft.reap(now);
                 }
-                Op::Advance(dt) => now = now + u64::from(dt),
+                Op::Advance(dt) => now += u64::from(dt),
             }
 
             // Invariant 1: fan-out sets only contain live members.
@@ -95,7 +95,7 @@ proptest! {
                     mft.install_fusion_sender(NodeId(bp.into()), &covers, now, &timing);
                 }
                 Op::Reap => { mft.reap(now); }
-                Op::Advance(dt) => now = now + u64::from(dt),
+                Op::Advance(dt) => now += u64::from(dt),
             }
         }
         // Pin one entry now; everything about it is then fully predictable.

@@ -48,7 +48,10 @@ pub struct HbhMct {
 impl HbhMct {
     /// A fresh MCT tracking `node`, created at `now`.
     pub fn new(node: NodeId, now: Time, timing: &Timing) -> Self {
-        HbhMct { node, entry: SoftEntry::new(now, timing) }
+        HbhMct {
+            node,
+            entry: SoftEntry::new(now, timing),
+        }
     }
 
     /// The node whose tree messages flow through here.
@@ -105,11 +108,15 @@ pub struct HbhMft {
 impl HbhMft {
     /// Live-entry lookup (dead entries are treated as absent everywhere).
     fn get(&self, n: NodeId, now: Time) -> Option<&MftEntry> {
-        self.entries.iter().find(|e| e.node == n && !e.entry.is_dead(now))
+        self.entries
+            .iter()
+            .find(|e| e.node == n && !e.entry.is_dead(now))
     }
 
     fn get_mut(&mut self, n: NodeId, now: Time) -> Option<&mut MftEntry> {
-        self.entries.iter_mut().find(|e| e.node == n && !e.entry.is_dead(now))
+        self.entries
+            .iter_mut()
+            .find(|e| e.node == n && !e.entry.is_dead(now))
     }
 
     /// Is `n` a (live) member of the table?
@@ -119,12 +126,12 @@ impl HbhMft {
 
     /// True if `n` is live and marked (tree-only).
     pub fn is_marked(&self, n: NodeId, now: Time) -> bool {
-        self.get(n, now).map_or(false, |e| e.entry.marked)
+        self.get(n, now).is_some_and(|e| e.entry.marked)
     }
 
     /// True if `n` is live and stale (t1 expired).
     pub fn is_stale(&self, n: NodeId, now: Time) -> bool {
-        self.get(n, now).map_or(false, |e| e.entry.is_stale(now))
+        self.get(n, now).is_some_and(|e| e.entry.is_stale(now))
     }
 
     /// Full refresh of `n` (join interception / rule 3 of tree
@@ -157,14 +164,138 @@ impl HbhMft {
         }
     }
 
-    /// Is `nodes` contained in the coverage of a live entry other than
-    /// `sender`? If so, an incoming fusion from `sender` is subsumed by
-    /// an already-installed branching node and must be ignored (see the
-    /// nested-fusion note in the module docs).
+    /// Clears `n`'s mark (join-time self-repair; see the engine's
+    /// `repair_orphaned_mark`). Returns `true` if it was marked.
+    pub fn unmark(&mut self, n: NodeId, now: Time) -> bool {
+        match self.get_mut(n, now) {
+            Some(e) if e.entry.marked => {
+                e.entry.marked = false;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Per-entry flag: does this entry's subtree currently receive data
+    /// through *this* table? Least fixpoint of: every live unmarked entry
+    /// is reachable (we fan data out to it directly), and a live *marked*
+    /// entry is reachable if an already-reachable entry's coverage claims
+    /// it (data flows to the coverer, which forwards it onward). Coverage
+    /// chains can nest — B3 serves B2 serves B1 — so one hop is not
+    /// enough; tables are tiny, so the quadratic fixpoint is fine.
+    ///
+    /// Bit `i` of the result corresponds to `entries[i]`. The fixpoint is
+    /// queried on the fusion/tree hot path, so it runs over a stack
+    /// bitmask instead of a heap vector; 128 bits is far beyond any real
+    /// table (entries are the downstream receivers and branching nodes of
+    /// one router for one channel — a few dozen at most, and the paper's
+    /// largest group is 45). The assert keeps an overgrown table loud
+    /// rather than silently mis-evaluated.
+    fn data_reachable(&self, now: Time) -> u128 {
+        assert!(
+            self.entries.len() <= 128,
+            "MFT fixpoint supports at most 128 entries per (node, channel)"
+        );
+        // One liveness pass seeds the fixpoint; afterwards everything runs
+        // on bitmasks so no entry's phase is re-derived per round.
+        let mut reach: u128 = 0;
+        let mut pending: u128 = 0; // live but marked: reachable only via a coverer
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.entry.is_dead(now) {
+                continue;
+            }
+            if e.entry.marked {
+                pending |= 1 << i;
+            } else {
+                reach |= 1 << i;
+            }
+        }
+        if pending == 0 {
+            // Nothing marked: the seed set is already the fixpoint.
+            return reach;
+        }
+        // Frontier propagation: only entries that became reachable in the
+        // previous round can newly claim a pending one, so each round
+        // scans the frontier's coverage sets instead of the whole table.
+        // (Nodes are unique per table and reach/pending stay disjoint, so
+        // the old `e.node != me` self-claim guard is implied.)
+        let mut frontier = reach;
+        loop {
+            let mut newly: u128 = 0;
+            let mut f = frontier;
+            while f != 0 {
+                let j = f.trailing_zeros() as usize;
+                f &= f - 1;
+                let covers = &self.entries[j].covers;
+                if covers.is_empty() {
+                    continue;
+                }
+                let mut p = pending;
+                while p != 0 {
+                    let i = p.trailing_zeros() as usize;
+                    p &= p - 1;
+                    if covers.contains(&self.entries[i].node) {
+                        newly |= 1 << i;
+                    }
+                }
+            }
+            if newly == 0 {
+                return reach;
+            }
+            reach |= newly;
+            pending &= !newly;
+            if pending == 0 {
+                return reach;
+            }
+            frontier = newly;
+        }
+    }
+
+    /// Is `n` claimed by the coverage of a live, data-reachable entry
+    /// other than itself — i.e. does some branching node that actually
+    /// receives data currently serve `n`? A claimant that is itself
+    /// marked counts only if its own coverer chain bottoms out at a live
+    /// unmarked entry (see [`Self::data_reachable`]); an orphaned marked
+    /// claimant receives nothing and therefore serves nobody.
+    pub fn served_by_other(&self, n: NodeId, now: Time) -> bool {
+        // Fast path: no live entry claims `n` at all (the common case at
+        // routers with no fusion activity) — skip the fixpoint entirely.
+        if !self
+            .entries
+            .iter()
+            .any(|e| !e.entry.is_dead(now) && e.node != n && e.covers.contains(&n))
+        {
+            return false;
+        }
+        let reach = self.data_reachable(now);
+        self.entries
+            .iter()
+            .enumerate()
+            .any(|(i, e)| reach & (1 << i) != 0 && e.node != n && e.covers.contains(&n))
+    }
+
+    /// Is `nodes` contained in the coverage of a live, data-reachable
+    /// entry other than `sender`? If so, an incoming fusion from `sender`
+    /// is subsumed by an already-installed branching node and must be
+    /// ignored (see the nested-fusion note in the module docs). An
+    /// orphaned marked coverer receives no data and serves nobody — it
+    /// cannot veto a fusion from a node that is asking to serve the
+    /// subtree itself.
     pub fn covered_by_other(&self, nodes: &[NodeId], sender: NodeId, now: Time) -> bool {
-        self.entries.iter().any(|e| {
-            e.node != sender
-                && !e.entry.is_dead(now)
+        // Fast path: no live entry other than `sender` even claims the
+        // whole set — skip the fixpoint.
+        if !self.entries.iter().any(|e| {
+            !e.entry.is_dead(now)
+                && e.node != sender
+                && !e.covers.is_empty()
+                && nodes.iter().all(|n| e.covers.contains(n))
+        }) {
+            return false;
+        }
+        let reach = self.data_reachable(now);
+        self.entries.iter().enumerate().any(|(i, e)| {
+            reach & (1 << i) != 0
+                && e.node != sender
                 && !e.covers.is_empty()
                 && nodes.iter().all(|n| e.covers.contains(n))
         })
@@ -199,13 +330,20 @@ impl HbhMft {
         }
         if let Some(e) = self.get_mut(bp, now) {
             e.entry.refresh_t2_keep_stale(now, timing);
-            e.covers = covers.to_vec();
+            // In-place copy: refreshes repeat the same claim far more often
+            // than they change it, so reuse the existing allocation.
+            e.covers.clear();
+            e.covers.extend_from_slice(covers);
             return structural;
         }
         self.purge(bp);
         let mut entry = SoftEntry::new(now, timing);
         entry.force_stale(now);
-        self.entries.push(MftEntry { node: bp, entry, covers: covers.to_vec() });
+        self.entries.push(MftEntry {
+            node: bp,
+            entry,
+            covers: covers.to_vec(),
+        });
         true
     }
 
@@ -234,9 +372,7 @@ impl HbhMft {
     pub fn tree_targets(&self, now: Time) -> impl Iterator<Item = NodeId> + '_ {
         self.entries
             .iter()
-            .filter(move |e| {
-                e.entry.is_fresh(now) || (!e.entry.is_dead(now) && !e.entry.marked)
-            })
+            .filter(move |e| e.entry.is_fresh(now) || (!e.entry.is_dead(now) && !e.entry.marked))
             .map(|e| e.node)
     }
 
@@ -246,13 +382,19 @@ impl HbhMft {
         nodes: &'a [NodeId],
         now: Time,
     ) -> impl Iterator<Item = NodeId> + 'a {
-        nodes.iter().copied().filter(move |&n| self.contains(n, now))
+        nodes
+            .iter()
+            .copied()
+            .filter(move |&n| self.contains(n, now))
     }
 
     /// All live members (fusion payloads: "all the nodes that B maintains
     /// in its MFT").
     pub fn live(&self, now: Time) -> impl Iterator<Item = NodeId> + '_ {
-        self.entries.iter().filter(move |e| !e.entry.is_dead(now)).map(|e| e.node)
+        self.entries
+            .iter()
+            .filter(move |e| !e.entry.is_dead(now))
+            .map(|e| e.node)
     }
 
     /// Removes dead entries; returns how many.
@@ -365,7 +507,11 @@ mod tests {
         let stale_at = Time(t.t1 + 1);
         assert!(m.contains(NodeId(1), stale_at));
         assert_eq!(m.data_targets(stale_at).count(), 0);
-        assert_eq!(m.tree_targets(stale_at).count(), 0, "marked+stale: fully silent");
+        assert_eq!(
+            m.tree_targets(stale_at).count(),
+            0,
+            "marked+stale: fully silent"
+        );
     }
 
     #[test]
@@ -390,7 +536,10 @@ mod tests {
         m.install_fusion_sender(NodeId(3), &[NodeId(7), NodeId(8)], Time(1), &t);
         assert!(m.is_marked(NodeId(2), Time(2)), "narrow sender subsumed");
         assert!(!m.is_marked(NodeId(3), Time(2)));
-        assert_eq!(m.data_targets(Time(2)).collect::<Vec<_>>(), vec![NodeId(7), NodeId(3)]);
+        assert_eq!(
+            m.data_targets(Time(2)).collect::<Vec<_>>(),
+            vec![NodeId(7), NodeId(3)]
+        );
     }
 
     #[test]
@@ -399,7 +548,10 @@ mod tests {
         let mut m = HbhMft::default();
         m.install_fusion_sender(NodeId(3), &[NodeId(7), NodeId(8)], Time(0), &t);
         assert!(m.covered_by_other(&[NodeId(7)], NodeId(9), Time(1)));
-        assert!(!m.covered_by_other(&[NodeId(7)], NodeId(3), Time(1)), "sender excluded");
+        assert!(
+            !m.covered_by_other(&[NodeId(7)], NodeId(3), Time(1)),
+            "sender excluded"
+        );
         assert!(!m.covered_by_other(&[NodeId(7), NodeId(9)], NodeId(5), Time(1)));
     }
 
@@ -413,7 +565,79 @@ mod tests {
         let mut m = HbhMft::default();
         m.install_fusion_sender(NodeId(9), &[], Time(0), &t);
         m.refresh_or_insert(NodeId(9), Time(10), &t);
-        assert_eq!(m.tree_targets(Time(11)).collect::<Vec<_>>(), vec![NodeId(9)]);
+        assert_eq!(
+            m.tree_targets(Time(11)).collect::<Vec<_>>(),
+            vec![NodeId(9)]
+        );
+    }
+
+    #[test]
+    fn served_by_other_requires_data_reachable_claimant() {
+        let t = tm();
+        let mut m = HbhMft::default();
+        m.refresh_or_insert(NodeId(7), Time(0), &t);
+        assert!(!m.served_by_other(NodeId(7), Time(1)), "no claimant at all");
+        m.install_fusion_sender(NodeId(2), &[NodeId(7)], Time(0), &t);
+        assert!(m.served_by_other(NodeId(7), Time(1)));
+        // An orphaned marked claimant receives no data, so it serves nobody.
+        m.mark(NodeId(2), Time(1));
+        assert!(!m.served_by_other(NodeId(7), Time(1)));
+        // A dead claimant serves nobody either.
+        let mut m2 = HbhMft::default();
+        m2.refresh_or_insert(NodeId(7), Time(0), &t);
+        m2.install_fusion_sender(NodeId(2), &[NodeId(7)], Time(0), &t);
+        assert!(!m2.served_by_other(NodeId(7), Time(t.t2 + 1)));
+    }
+
+    #[test]
+    fn served_by_other_follows_coverage_chains() {
+        // 3 (unmarked) covers 2; 2 (marked) covers 7. Data reaches 2
+        // through 3, so 2 still serves 7 — 7 must stay marked.
+        let t = tm();
+        let mut m = HbhMft::default();
+        m.refresh_or_insert(NodeId(7), Time(0), &t);
+        m.install_fusion_sender(NodeId(2), &[NodeId(7)], Time(0), &t);
+        m.install_fusion_sender(NodeId(3), &[NodeId(2)], Time(0), &t);
+        m.mark(NodeId(2), Time(0));
+        assert!(
+            m.served_by_other(NodeId(7), Time(1)),
+            "chain 3→2→7 delivers"
+        );
+        // Break the chain: 3 dies, nothing reaches 2, so nothing serves 7.
+        let late = Time(t.t2 + 1);
+        m.install_fusion_sender(NodeId(2), &[NodeId(7)], late, &t);
+        m.refresh_or_insert(NodeId(7), late, &t);
+        m.mark(NodeId(2), late);
+        assert!(
+            !m.served_by_other(NodeId(7), late),
+            "orphaned chain serves nobody"
+        );
+    }
+
+    #[test]
+    fn covered_by_other_ignores_orphaned_marked_coverers() {
+        let t = tm();
+        let mut m = HbhMft::default();
+        m.install_fusion_sender(NodeId(3), &[NodeId(7), NodeId(8)], Time(0), &t);
+        m.mark(NodeId(3), Time(0));
+        // 3 is marked with no coverer of its own: it receives no data and
+        // cannot veto a fusion from a node offering to serve {7}.
+        assert!(!m.covered_by_other(&[NodeId(7)], NodeId(9), Time(1)));
+        // Give 3 a live coverer and its claim counts again.
+        m.install_fusion_sender(NodeId(4), &[NodeId(3)], Time(1), &t);
+        assert!(m.covered_by_other(&[NodeId(7)], NodeId(9), Time(2)));
+    }
+
+    #[test]
+    fn unmark_restores_data_eligibility() {
+        let t = tm();
+        let mut m = HbhMft::default();
+        m.refresh_or_insert(NodeId(1), Time(0), &t);
+        m.mark(NodeId(1), Time(0));
+        assert_eq!(m.data_targets(Time(1)).count(), 0);
+        assert!(m.unmark(NodeId(1), Time(1)));
+        assert!(!m.unmark(NodeId(1), Time(1)), "already unmarked");
+        assert_eq!(m.data_targets(Time(1)).collect::<Vec<_>>(), vec![NodeId(1)]);
     }
 
     #[test]
@@ -423,7 +647,10 @@ mod tests {
         m.refresh_or_insert(NodeId(1), Time(0), &t);
         m.mark(NodeId(1), Time(0));
         m.refresh_or_insert(NodeId(1), Time(50), &t);
-        assert!(m.is_marked(NodeId(1), Time(50)), "joins refresh but do not unmark");
+        assert!(
+            m.is_marked(NodeId(1), Time(50)),
+            "joins refresh but do not unmark"
+        );
     }
 
     #[test]
@@ -444,8 +671,9 @@ mod tests {
         m.refresh_or_insert(NodeId(1), Time(0), &t);
         m.refresh_or_insert(NodeId(2), Time(400), &t);
         let now = Time(t.t2); // entry 1 dead
-        let hits: Vec<_> =
-            m.intersect(&[NodeId(1), NodeId(2), NodeId(3)], now).collect();
+        let hits: Vec<_> = m
+            .intersect(&[NodeId(1), NodeId(2), NodeId(3)], now)
+            .collect();
         assert_eq!(hits, vec![NodeId(2)]);
     }
 

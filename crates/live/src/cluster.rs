@@ -64,7 +64,12 @@ impl Cluster {
                     .spawn(move || run_node(proto, setup))?,
             );
         }
-        Ok(Cluster { commands, deliveries: dl_rx, handles, addresses: addr_book })
+        Ok(Cluster {
+            commands,
+            deliveries: dl_rx,
+            handles,
+            addresses: addr_book,
+        })
     }
 
     /// Sends a protocol command to a node's thread.

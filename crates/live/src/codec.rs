@@ -81,7 +81,15 @@ pub fn decode_packet<M: LiveMsg>(buf: &[u8]) -> Option<Packet<M>> {
     let tag = u64_at(10);
     let injected_at = Time(u64_at(18));
     let payload = M::from_wire(wire_decode(&buf[ENVELOPE_LEN..]).ok()?)?;
-    Some(Packet { src, dst, ttl, class, tag, injected_at, payload })
+    Some(Packet {
+        src,
+        dst,
+        ttl,
+        class,
+        tag,
+        injected_at,
+        payload,
+    })
 }
 
 #[cfg(test)]
@@ -101,8 +109,10 @@ mod tests {
     fn packet_roundtrip() {
         let p = sample();
         let q: Packet<HbhMsg> = decode_packet(&encode_packet(&p)).unwrap();
-        assert_eq!((q.src, q.dst, q.ttl, q.class, q.tag, q.injected_at),
-                   (p.src, p.dst, p.ttl, p.class, p.tag, p.injected_at));
+        assert_eq!(
+            (q.src, q.dst, q.ttl, q.class, q.tag, q.injected_at),
+            (p.src, p.dst, p.ttl, p.class, p.tag, p.injected_at)
+        );
         assert_eq!(q.payload, p.payload);
     }
 

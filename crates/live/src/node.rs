@@ -24,7 +24,12 @@ impl LiveTiming {
     /// Snappy timers for tests/demos: 40 ms periods, t1 = 110 ms,
     /// t2 = 220 ms — converges in roughly a second.
     pub fn fast() -> Self {
-        LiveTiming(Timing { join_period: 40, tree_period: 40, t1: 110, t2: 220 })
+        LiveTiming(Timing {
+            join_period: 40,
+            tree_period: 40,
+            t1: 110,
+            t2: 220,
+        })
     }
 }
 
@@ -75,7 +80,9 @@ impl<M: LiveMsg + Clone + Debug, T: Clone + Eq + Hash + Debug> LiveOps<M, T> {
                 break;
             }
             self.timer_heap.pop();
-            let Some(t) = self.timer_payloads.remove(&id) else { continue };
+            let Some(t) = self.timer_payloads.remove(&id) else {
+                continue;
+            };
             if self.timer_ids.get(&t) == Some(&id) {
                 self.timer_ids.remove(&t);
                 due.push(t);
@@ -134,7 +141,12 @@ where
     }
 
     fn deliver(&mut self, node: NodeId, tag: u64, injected_at: Time) {
-        let _ = self.deliveries.send(Delivery { node, at: self.wall_now(), tag, injected_at });
+        let _ = self.deliveries.send(Delivery {
+            node,
+            at: self.wall_now(),
+            tag,
+            injected_at,
+        });
     }
 
     fn set_timer(&mut self, node: NodeId, timer: T, delay: u64) {
@@ -175,7 +187,15 @@ where
     P: Protocol<Command = Cmd>,
     P::Msg: LiveMsg,
 {
-    let NodeSetup { node, net, addr_book, socket, deliveries, commands, seed } = setup;
+    let NodeSetup {
+        node,
+        net,
+        addr_book,
+        socket,
+        deliveries,
+        commands,
+        seed,
+    } = setup;
     let mut state = P::NodeState::default();
     let mut ops: LiveOps<P::Msg, P::Timer> = LiveOps {
         node,
@@ -216,10 +236,14 @@ where
             .map(|d| d.since(now))
             .unwrap_or(20)
             .clamp(1, 20);
-        let _ = ops.socket.set_read_timeout(Some(Duration::from_millis(until_deadline)));
+        let _ = ops
+            .socket
+            .set_read_timeout(Some(Duration::from_millis(until_deadline)));
         match ops.socket.recv_from(&mut buf) {
             Ok((n, _)) => {
-                let Some(pkt) = decode_packet::<P::Msg>(&buf[..n]) else { continue };
+                let Some(pkt) = decode_packet::<P::Msg>(&buf[..n]) else {
+                    continue;
+                };
                 // Same dispatch rules as the simulation kernel.
                 let g = ops.net.graph();
                 if g.is_host(node) && pkt.dst != node {

@@ -71,7 +71,9 @@ fn leave_stops_delivery_over_udp() {
     std::thread::sleep(Duration::from_millis(converge_ms()));
     cluster.command(r3, Cmd::Leave(ch));
     // Let r3's soft state decay fully.
-    std::thread::sleep(Duration::from_millis(3 * timing.t2 + 5 * timing.tree_period));
+    std::thread::sleep(Duration::from_millis(
+        3 * timing.t2 + 5 * timing.tree_period,
+    ));
 
     cluster.command(s, Cmd::SendData { ch, tag: 5 });
     let got = cluster.wait_deliveries(2, Duration::from_millis(800));

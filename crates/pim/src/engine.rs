@@ -5,8 +5,8 @@ use crate::messages::{PimMsg, PimTimer};
 use crate::oif::OifTable;
 use hbh_proto_base::{Channel, Cmd, Timing};
 use hbh_sim_core::{Ctx, Packet, Protocol};
+use hbh_sim_core::{FastMap, FastSet};
 use hbh_topo::graph::NodeId;
-use std::collections::{HashMap, HashSet};
 
 /// Which tree PIM builds.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -35,13 +35,19 @@ impl Pim {
     /// PIM-SS: per-source reverse SPT.
     pub fn source_specific(timing: Timing) -> Self {
         timing.validate();
-        Pim { mode: PimMode::SourceSpecific, timing }
+        Pim {
+            mode: PimMode::SourceSpecific,
+            timing,
+        }
     }
 
     /// PIM-SM: one shared tree rooted at `rp`.
     pub fn sparse_shared(rp: NodeId, timing: Timing) -> Self {
         timing.validate();
-        Pim { mode: PimMode::SparseShared { rp }, timing }
+        Pim {
+            mode: PimMode::SparseShared { rp },
+            timing,
+        }
     }
 
     /// The node joins converge on: the source for SS, the RP for SM.
@@ -57,8 +63,14 @@ impl Pim {
         if root == ctx.node {
             return; // degenerate: receiver co-located with the root
         }
-        let pkt =
-            Packet::control(ctx.node, root, PimMsg::Join { ch, downstream: ctx.node });
+        let pkt = Packet::control(
+            ctx.node,
+            root,
+            PimMsg::Join {
+                ch,
+                downstream: ctx.node,
+            },
+        );
         ctx.send(pkt);
     }
 }
@@ -67,11 +79,11 @@ impl Pim {
 #[derive(Default)]
 pub struct PimNodeState {
     /// `(root, G)` oif tables, keyed by channel.
-    oifs: HashMap<Channel, OifTable>,
+    oifs: FastMap<Channel, OifTable>,
     /// Channels this node's receiver agent is subscribed to.
-    member: HashSet<Channel>,
+    member: FastSet<Channel>,
     /// Channels with an armed sweep timer (avoid duplicate arming).
-    sweep_armed: HashSet<Channel>,
+    sweep_armed: FastSet<Channel>,
 }
 
 impl PimNodeState {
@@ -141,7 +153,10 @@ impl Protocol for Pim {
                     let next = Packet::control(
                         ctx.node,
                         pkt.dst,
-                        PimMsg::Join { ch, downstream: ctx.node },
+                        PimMsg::Join {
+                            ch,
+                            downstream: ctx.node,
+                        },
                     );
                     ctx.send(next);
                 }
@@ -162,8 +177,7 @@ impl Protocol for Pim {
                 // one copy per tree link — interface-directed, not routed.
                 let now = ctx.now();
                 if let Some(table) = state.oifs.get(&ch) {
-                    let fanout: Vec<NodeId> = table.live(now).collect();
-                    for next in fanout {
+                    for next in table.live(now) {
                         ctx.send_link(next, pkt.copy_to(next));
                     }
                 }
@@ -205,12 +219,7 @@ impl Protocol for Pim {
         }
     }
 
-    fn on_command(
-        &self,
-        state: &mut PimNodeState,
-        cmd: Cmd,
-        ctx: &mut Ctx<'_, PimMsg, PimTimer>,
-    ) {
+    fn on_command(&self, state: &mut PimNodeState, cmd: Cmd, ctx: &mut Ctx<'_, PimMsg, PimTimer>) {
         match cmd {
             Cmd::StartSource(_) => {
                 // PIM sources are passive until data is injected: SS fan-out
@@ -237,23 +246,16 @@ impl Protocol for Pim {
                         // router, installed by the receivers' joins).
                         let now = ctx.now();
                         if let Some(table) = state.oifs.get(&ch) {
-                            let fanout: Vec<NodeId> = table.live(now).collect();
-                            for next in fanout {
-                                let pkt = Packet::data(
-                                    ctx.node,
-                                    next,
-                                    tag,
-                                    now,
-                                    PimMsg::Data { ch },
-                                );
+                            for next in table.live(now) {
+                                let pkt =
+                                    Packet::data(ctx.node, next, tag, now, PimMsg::Data { ch });
                                 ctx.send_link(next, pkt);
                             }
                         }
                     }
                     PimMode::SparseShared { rp } => {
                         // Register path: unicast-encapsulated to the RP.
-                        let pkt =
-                            Packet::data(ctx.node, rp, tag, ctx.now(), PimMsg::Data { ch });
+                        let pkt = Packet::data(ctx.node, rp, tag, ctx.now(), PimMsg::Data { ch });
                         ctx.send(pkt);
                     }
                 }
@@ -267,6 +269,7 @@ mod tests {
     use super::*;
     use hbh_sim_core::{Kernel, Network, Time};
     use hbh_topo::graph::Graph;
+    use std::collections::HashSet;
 
     /// Builds a Y-shaped network:
     ///
@@ -293,7 +296,13 @@ mod tests {
         let s = g.add_host(r[0], 1, 1);
         let h2 = g.add_host(r[2], 1, 1);
         let h3 = g.add_host(r[3], 1, 1);
-        Net { net: Network::new(g), s, r, h2, h3 }
+        Net {
+            net: Network::new(g),
+            s,
+            r,
+            h2,
+            h3,
+        }
     }
 
     fn converge(k: &mut Kernel<Pim>, t: u64) {
@@ -414,11 +423,13 @@ mod tests {
         let probe_at = k.now();
         k.command_at(n.s, Cmd::SendData { ch, tag: 5 }, probe_at);
         k.run_until(probe_at + 200);
-        let nodes: Vec<NodeId> =
-            k.stats().deliveries_tagged(5).map(|d| d.node).collect();
+        let nodes: Vec<NodeId> = k.stats().deliveries_tagged(5).map(|d| d.node).collect();
         assert_eq!(nodes, vec![n.h3], "only the remaining member gets data");
         // h2's branch state is gone.
-        assert!(!k.state(n.r[2]).oif_table(ch).map_or(false, |t| t.contains(n.h2)));
+        assert!(!k
+            .state(n.r[2])
+            .oif_table(ch)
+            .is_some_and(|t| t.contains(n.h2)));
     }
 
     #[test]
@@ -488,6 +499,10 @@ mod tests {
         converge(&mut k, 600);
         k.command_at(n.s, Cmd::SendData { ch, tag: 9 }, Time(600));
         k.run_until(Time(800));
-        assert_eq!(k.stats().deliveries_tagged(9).count(), 1, "no duplicate delivery");
+        assert_eq!(
+            k.stats().deliveries_tagged(9).count(),
+            1,
+            "no duplicate delivery"
+        );
     }
 }

@@ -58,6 +58,13 @@ mod tests {
     fn channel_accessor() {
         let ch = Channel::primary(NodeId(1));
         assert_eq!(PimMsg::Data { ch }.channel(), ch);
-        assert_eq!(PimMsg::Join { ch, downstream: NodeId(2) }.channel(), ch);
+        assert_eq!(
+            PimMsg::Join {
+                ch,
+                downstream: NodeId(2)
+            }
+            .channel(),
+            ch
+        );
     }
 }

@@ -40,7 +40,10 @@ impl OifTable {
 
     /// Live (not dead) oifs at `now` — the data fan-out set.
     pub fn live(&self, now: Time) -> impl Iterator<Item = NodeId> + '_ {
-        self.entries.iter().filter(move |(_, e)| !e.is_dead(now)).map(|(&n, _)| n)
+        self.entries
+            .iter()
+            .filter(move |(_, e)| !e.is_dead(now))
+            .map(|(&n, _)| n)
     }
 
     /// Removes dead entries; returns how many were reaped.
@@ -135,7 +138,10 @@ mod tests {
         let mut t = OifTable::default();
         let tm = timing();
         assert!(t.upstream_due(Time(0), &tm));
-        assert!(!t.upstream_due(Time(10), &tm), "suppressed inside half-period");
+        assert!(
+            !t.upstream_due(Time(10), &tm),
+            "suppressed inside half-period"
+        );
         assert!(t.upstream_due(Time(tm.join_period / 2), &tm));
     }
 }

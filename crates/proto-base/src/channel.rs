@@ -28,7 +28,13 @@ impl fmt::Display for GroupAddr {
     /// Renders inside the SSM range: `232.x.y.z`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let v = self.0 % Self::HOST_SPACE;
-        write!(f, "232.{}.{}.{}", (v >> 16) & 0xff, (v >> 8) & 0xff, v & 0xff)
+        write!(
+            f,
+            "232.{}.{}.{}",
+            (v >> 16) & 0xff,
+            (v >> 8) & 0xff,
+            v & 0xff
+        )
     }
 }
 
@@ -56,7 +62,10 @@ impl Channel {
     /// The conventional "first" channel of a source, used by experiments
     /// that need exactly one group.
     pub fn primary(source: NodeId) -> Self {
-        Channel { source, group: GroupAddr(1) }
+        Channel {
+            source,
+            group: GroupAddr(1),
+        }
     }
 }
 
@@ -84,7 +93,10 @@ mod tests {
 
     #[test]
     fn group_addr_wraps_host_space() {
-        assert_eq!(GroupAddr(GroupAddr::HOST_SPACE + 5).to_string(), "232.0.0.5");
+        assert_eq!(
+            GroupAddr(GroupAddr::HOST_SPACE + 5).to_string(),
+            "232.0.0.5"
+        );
     }
 
     #[test]
@@ -94,7 +106,10 @@ mod tests {
         let c = Channel::new(NodeId(4), GroupAddr(1));
         let d = Channel::new(NodeId(3), GroupAddr(2));
         assert_eq!(a, b);
-        assert_ne!(a, c, "same group under different sources is a different channel");
+        assert_ne!(
+            a, c,
+            "same group under different sources is a different channel"
+        );
         assert_ne!(a, d);
     }
 

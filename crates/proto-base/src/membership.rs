@@ -20,7 +20,11 @@ use rand::RngExt;
 /// # Panics
 /// Panics if `m > pool.len()`.
 pub fn sample_receivers(pool: &[NodeId], m: usize, rng: &mut StdRng) -> Vec<NodeId> {
-    assert!(m <= pool.len(), "cannot sample {m} receivers from a pool of {}", pool.len());
+    assert!(
+        m <= pool.len(),
+        "cannot sample {m} receivers from a pool of {}",
+        pool.len()
+    );
     let mut pool = pool.to_vec();
     for i in 0..m {
         let j = rng.random_range(i..pool.len());
@@ -79,8 +83,11 @@ pub fn churn_schedule(
         }
         let i = rng.random_range(0..pool.len());
         member[i] = !member[i];
-        let ev =
-            if member[i] { ChurnEvent::Join(pool[i]) } else { ChurnEvent::Leave(pool[i]) };
+        let ev = if member[i] {
+            ChurnEvent::Join(pool[i])
+        } else {
+            ChurnEvent::Leave(pool[i])
+        };
         events.push((Time(t as u64), ev));
     }
     events
@@ -122,7 +129,10 @@ mod tests {
     #[test]
     fn sample_is_seed_deterministic() {
         let p = pool(20);
-        assert_eq!(sample_receivers(&p, 7, &mut rng(3)), sample_receivers(&p, 7, &mut rng(3)));
+        assert_eq!(
+            sample_receivers(&p, 7, &mut rng(3)),
+            sample_receivers(&p, 7, &mut rng(3))
+        );
     }
 
     #[test]

@@ -43,7 +43,11 @@ pub struct SoftEntry {
 impl SoftEntry {
     /// A fresh entry created (or refreshed) at `now`.
     pub fn new(now: Time, timing: &Timing) -> Self {
-        SoftEntry { expires_t1: now + timing.t1, expires_t2: now + timing.t2, marked: false }
+        SoftEntry {
+            expires_t1: now + timing.t1,
+            expires_t2: now + timing.t2,
+            marked: false,
+        }
     }
 
     /// Full refresh: both timers restart. Clears staleness, keeps the mark
@@ -99,7 +103,11 @@ mod tests {
     use super::*;
 
     fn timing() -> Timing {
-        Timing { t1: 100, t2: 200, ..Timing::default() }
+        Timing {
+            t1: 100,
+            t2: 200,
+            ..Timing::default()
+        }
     }
 
     #[test]

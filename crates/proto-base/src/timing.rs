@@ -35,7 +35,12 @@ impl Default for Timing {
     fn default() -> Self {
         let period = 100;
         let t1 = period * 26 / 10;
-        Timing { join_period: period, tree_period: period, t1, t2: 2 * t1 }
+        Timing {
+            join_period: period,
+            tree_period: period,
+            t1,
+            t2: 2 * t1,
+        }
     }
 }
 
@@ -52,7 +57,10 @@ impl Timing {
 
     /// Sanity-checks the invariants the protocols rely on.
     pub fn validate(&self) {
-        assert!(self.join_period > 0 && self.tree_period > 0, "periods must be positive");
+        assert!(
+            self.join_period > 0 && self.tree_period > 0,
+            "periods must be positive"
+        );
         assert!(
             self.t1 > self.join_period && self.t1 > self.tree_period,
             "t1 must exceed the refresh periods or entries flap"
@@ -80,13 +88,25 @@ mod tests {
     #[test]
     #[should_panic(expected = "t1 must exceed")]
     fn flappy_t1_rejected() {
-        Timing { join_period: 100, tree_period: 100, t1: 50, t2: 100 }.validate();
+        Timing {
+            join_period: 100,
+            tree_period: 100,
+            t1: 50,
+            t2: 100,
+        }
+        .validate();
     }
 
     #[test]
     #[should_panic(expected = "t2 must exceed t1")]
     fn inverted_t2_rejected() {
-        Timing { join_period: 10, tree_period: 10, t1: 50, t2: 50 }.validate();
+        Timing {
+            join_period: 10,
+            tree_period: 10,
+            t1: 50,
+            t2: 50,
+        }
+        .validate();
     }
 
     #[test]

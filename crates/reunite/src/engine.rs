@@ -40,8 +40,8 @@ use crate::messages::{ReuniteMsg, ReuniteTimer};
 use crate::tables::{Mct, Mft};
 use hbh_proto_base::{Channel, Cmd, Timing};
 use hbh_sim_core::{Ctx, Packet, Protocol};
+use hbh_sim_core::{FastMap, FastSet};
 use hbh_topo::graph::NodeId;
-use std::collections::{HashMap, HashSet};
 
 /// The REUNITE protocol (configuration; per-node state in
 /// [`ReuniteNodeState`]).
@@ -62,14 +62,14 @@ impl Reunite {
 /// Per-node REUNITE state.
 #[derive(Default)]
 pub struct ReuniteNodeState {
-    mct: HashMap<Channel, Mct>,
-    mft: HashMap<Channel, Mft>,
+    mct: FastMap<Channel, Mct>,
+    mft: FastMap<Channel, Mft>,
     /// Receiver-agent subscriptions.
-    member: HashSet<Channel>,
+    member: FastSet<Channel>,
     /// Channels whose source tree timer is armed (source host only).
-    tree_armed: HashSet<Channel>,
+    tree_armed: FastSet<Channel>,
     /// Channels with an armed router sweep.
-    sweep_armed: HashSet<Channel>,
+    sweep_armed: FastSet<Channel>,
 }
 
 impl ReuniteNodeState {
@@ -217,16 +217,17 @@ impl Reunite {
                         // Upstream recovered: resume normal operation.
                         ctx.structural_change();
                     }
-                    let emits: Vec<(NodeId, bool)> = mft
-                        .copy_targets(now)
-                        .map(|n| (n, mft.entry_is_stale(n, now)))
-                        .collect();
                     ctx.forward(pkt);
-                    for (target, entry_stale) in emits {
+                    for target in mft.copy_targets(now) {
+                        let entry_stale = mft.entry_is_stale(target, now);
                         let tree = Packet::control(
                             ctx.node,
                             target,
-                            ReuniteMsg::Tree { ch, receiver: target, marked: entry_stale },
+                            ReuniteMsg::Tree {
+                                ch,
+                                receiver: target,
+                                marked: entry_stale,
+                            },
                         );
                         ctx.send(tree);
                     }
@@ -266,8 +267,7 @@ impl Reunite {
         let now = ctx.now();
         if let Some(mft) = state.mft.get(&ch) {
             if mft.dst() == pkt.dst {
-                let copies: Vec<NodeId> = mft.copy_targets(now).collect();
-                for r in copies {
+                for r in mft.copy_targets(now) {
                     ctx.send(pkt.copy_to(r));
                 }
             }
@@ -277,12 +277,7 @@ impl Reunite {
 
     // --- source -------------------------------------------------------
 
-    fn source_tree_tick(
-        &self,
-        state: &mut ReuniteNodeState,
-        ch: Channel,
-        ctx: &mut RCtx<'_>,
-    ) {
+    fn source_tree_tick(&self, state: &mut ReuniteNodeState, ch: Channel, ctx: &mut RCtx<'_>) {
         let now = ctx.now();
         let Some(mft) = state.mft.get_mut(&ch) else {
             state.tree_armed.remove(&ch);
@@ -300,13 +295,16 @@ impl Reunite {
             ctx.structural_change();
             return;
         }
-        let emits: Vec<(NodeId, bool)> =
-            mft.live(now).map(|n| (n, mft.entry_is_stale(n, now))).collect();
-        for (target, entry_stale) in emits {
+        for target in mft.live(now) {
+            let entry_stale = mft.entry_is_stale(target, now);
             let tree = Packet::control(
                 ctx.node,
                 target,
-                ReuniteMsg::Tree { ch, receiver: target, marked: entry_stale },
+                ReuniteMsg::Tree {
+                    ch,
+                    receiver: target,
+                    marked: entry_stale,
+                },
             );
             ctx.send(tree);
         }
@@ -334,9 +332,14 @@ impl Reunite {
             return;
         }
         let dst = mft.dst();
-        let copies: Vec<NodeId> = mft.copy_targets(now).collect();
-        ctx.send(Packet::data(ctx.node, dst, tag, now, ReuniteMsg::Data { ch }));
-        for r in copies {
+        ctx.send(Packet::data(
+            ctx.node,
+            dst,
+            tag,
+            now,
+            ReuniteMsg::Data { ch },
+        ));
+        for r in mft.copy_targets(now) {
             ctx.send(Packet::data(ctx.node, r, tag, now, ReuniteMsg::Data { ch }));
         }
     }
@@ -348,7 +351,11 @@ impl Reunite {
         let pkt = Packet::control(
             ctx.node,
             ch.source,
-            ReuniteMsg::Join { ch, receiver: ctx.node, fresh },
+            ReuniteMsg::Join {
+                ch,
+                receiver: ctx.node,
+                fresh,
+            },
         );
         ctx.send(pkt);
     }
@@ -360,16 +367,15 @@ impl Protocol for Reunite {
     type Command = Cmd;
     type NodeState = ReuniteNodeState;
 
-    fn on_packet(
-        &self,
-        state: &mut ReuniteNodeState,
-        pkt: Packet<ReuniteMsg>,
-        ctx: &mut RCtx<'_>,
-    ) {
+    fn on_packet(&self, state: &mut ReuniteNodeState, pkt: Packet<ReuniteMsg>, ctx: &mut RCtx<'_>) {
         let here = ctx.node;
         let is_host = ctx.net().graph().is_host(here);
         match pkt.payload {
-            ReuniteMsg::Join { ch, receiver, fresh } => {
+            ReuniteMsg::Join {
+                ch,
+                receiver,
+                fresh,
+            } => {
                 if pkt.dst == here {
                     // Reached the source.
                     self.join_at_source(state, ch, receiver, ctx);
@@ -380,7 +386,11 @@ impl Protocol for Reunite {
                     self.join_at_router(state, pkt, ch, receiver, fresh, ctx);
                 }
             }
-            ReuniteMsg::Tree { ch, receiver, marked } => {
+            ReuniteMsg::Tree {
+                ch,
+                receiver,
+                marked,
+            } => {
                 if pkt.dst == here {
                     // Receiver end of a tree message: consume.
                     let _ = (ch, receiver, marked);
@@ -400,12 +410,7 @@ impl Protocol for Reunite {
         }
     }
 
-    fn on_timer(
-        &self,
-        state: &mut ReuniteNodeState,
-        timer: ReuniteTimer,
-        ctx: &mut RCtx<'_>,
-    ) {
+    fn on_timer(&self, state: &mut ReuniteNodeState, timer: ReuniteTimer, ctx: &mut RCtx<'_>) {
         match timer {
             ReuniteTimer::JoinRefresh(ch) => {
                 if state.member.contains(&ch) {

@@ -41,7 +41,16 @@ fn y() -> Y {
     let s = g.add_host(a, 1, 1);
     let h1 = g.add_host(c, 1, 1);
     let h2 = g.add_host(d, 1, 1);
-    Y { net: Network::new(g), s, a, b, c, d, h1, h2 }
+    Y {
+        net: Network::new(g),
+        s,
+        a,
+        b,
+        c,
+        d,
+        h1,
+        h2,
+    }
 }
 
 fn kernel(net: &Network) -> Kernel<Reunite> {
@@ -71,7 +80,10 @@ fn trees_install_mct_along_downstream_path() {
         let mct = k.state(router).mct(ch).expect("MCT on downstream path");
         assert!(mct.contains(y.h1), "router {router} lacks h1 MCT entry");
     }
-    assert!(k.state(y.d).mct(ch).is_none(), "off-tree router has no state");
+    assert!(
+        k.state(y.d).mct(ch).is_none(),
+        "off-tree router has no state"
+    );
 }
 
 #[test]
@@ -126,7 +138,10 @@ fn dst_chain_stays_alive_long_term() {
     k.command_at(y.h2, Cmd::Join(ch), Time(300));
     k.run_until(Time(10 * timing.t2));
     let src = k.state(y.s).mft(ch).expect("source table alive");
-    assert!(src.intercepts(k.now()) || !src.dst_is_stale(k.now()), "dst fresh at source");
+    assert!(
+        src.intercepts(k.now()) || !src.dst_is_stale(k.now()),
+        "dst fresh at source"
+    );
     let b = k.state(y.b).mft(ch).expect("branching table alive");
     assert!(!b.dst_is_stale(k.now()), "dst fresh at branching node");
     assert!(!b.is_stale_flagged());

@@ -53,9 +53,9 @@ impl ReuniteMsg {
     /// The channel this message belongs to.
     pub fn channel(&self) -> Channel {
         match *self {
-            ReuniteMsg::Join { ch, .. }
-            | ReuniteMsg::Tree { ch, .. }
-            | ReuniteMsg::Data { ch } => ch,
+            ReuniteMsg::Join { ch, .. } | ReuniteMsg::Tree { ch, .. } | ReuniteMsg::Data { ch } => {
+                ch
+            }
         }
     }
 }
@@ -80,9 +80,22 @@ mod tests {
     fn channel_accessor_covers_variants() {
         let ch = Channel::primary(NodeId(0));
         assert_eq!(ReuniteMsg::Data { ch }.channel(), ch);
-        assert_eq!(ReuniteMsg::Join { ch, receiver: NodeId(1), fresh: true }.channel(), ch);
         assert_eq!(
-            ReuniteMsg::Tree { ch, receiver: NodeId(1), marked: true }.channel(),
+            ReuniteMsg::Join {
+                ch,
+                receiver: NodeId(1),
+                fresh: true
+            }
+            .channel(),
+            ch
+        );
+        assert_eq!(
+            ReuniteMsg::Tree {
+                ch,
+                receiver: NodeId(1),
+                marked: true
+            }
+            .channel(),
             ch
         );
     }

@@ -42,12 +42,18 @@ impl Mct {
 
     /// The oldest live entry — the `dst` a promotion would adopt.
     pub fn first_live(&self, now: Time) -> Option<NodeId> {
-        self.entries.iter().find(|(_, e)| !e.is_dead(now)).map(|(n, _)| *n)
+        self.entries
+            .iter()
+            .find(|(_, e)| !e.is_dead(now))
+            .map(|(n, _)| *n)
     }
 
     /// All live receivers, oldest first.
     pub fn live(&self, now: Time) -> impl Iterator<Item = NodeId> + '_ {
-        self.entries.iter().filter(move |(_, e)| !e.is_dead(now)).map(|(n, _)| *n)
+        self.entries
+            .iter()
+            .filter(move |(_, e)| !e.is_dead(now))
+            .map(|(n, _)| *n)
     }
 
     /// True if `r` has an entry (liveness not checked).
@@ -91,7 +97,11 @@ pub struct Mft {
 impl Mft {
     /// Creates the table with `dst` as first member.
     pub fn new(dst: NodeId, now: Time, timing: &Timing) -> Self {
-        Mft { dst, entries: vec![(dst, SoftEntry::new(now, timing))], stale_flag: false }
+        Mft {
+            dst,
+            entries: vec![(dst, SoftEntry::new(now, timing))],
+            stale_flag: false,
+        }
     }
 
     /// The receiver incoming data is addressed to.
@@ -133,7 +143,7 @@ impl Mft {
     /// `dst` entry still fresh (a stale `dst` is the source-side trigger of
     /// the whole reconfiguration).
     pub fn intercepts(&self, now: Time) -> bool {
-        !self.stale_flag && self.dst_entry().map_or(false, |e| e.is_fresh(now))
+        !self.stale_flag && self.dst_entry().is_some_and(|e| e.is_fresh(now))
     }
 
     /// Marks the table stale (marked tree received for `dst`). Returns
@@ -154,7 +164,10 @@ impl Mft {
     }
 
     fn dst_entry(&self) -> Option<&SoftEntry> {
-        self.entries.iter().find(|(n, _)| *n == self.dst).map(|(_, e)| e)
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == self.dst)
+            .map(|(_, e)| e)
     }
 
     /// Whether the `dst` entry is stale (the source starts sending marked
@@ -165,7 +178,7 @@ impl Mft {
 
     /// Whether data can still be produced toward `dst` (entry alive).
     pub fn dst_is_alive(&self, now: Time) -> bool {
-        self.dst_entry().map_or(false, |e| !e.is_dead(now))
+        self.dst_entry().is_some_and(|e| !e.is_dead(now))
     }
 
     /// Staleness of an individual entry (drives per-branch marked trees).
@@ -173,12 +186,15 @@ impl Mft {
         self.entries
             .iter()
             .find(|(n, _)| *n == r)
-            .map_or(false, |(_, e)| e.is_stale(now))
+            .is_some_and(|(_, e)| e.is_stale(now))
     }
 
     /// Live receivers, oldest first (includes `dst` if alive).
     pub fn live(&self, now: Time) -> impl Iterator<Item = NodeId> + '_ {
-        self.entries.iter().filter(move |(_, e)| !e.is_dead(now)).map(|(n, _)| *n)
+        self.entries
+            .iter()
+            .filter(move |(_, e)| !e.is_dead(now))
+            .map(|(n, _)| *n)
     }
 
     /// Live receivers other than `dst` — the copy fan-out set.
@@ -207,7 +223,11 @@ impl Mft {
     /// stale flag. Returns the new dst if one exists.
     pub fn elect_new_dst(&mut self, now: Time) -> Option<NodeId> {
         debug_assert!(self.dst_gone());
-        let new = self.entries.iter().find(|(_, e)| !e.is_dead(now)).map(|(n, _)| *n)?;
+        let new = self
+            .entries
+            .iter()
+            .find(|(_, e)| !e.is_dead(now))
+            .map(|(n, _)| *n)?;
         self.dst = new;
         self.stale_flag = false;
         Some(new)
@@ -257,7 +277,7 @@ mod tests {
         let t = tm();
         m.refresh_or_insert(NodeId(5), Time(0), &t);
         m.refresh_or_insert(NodeId(2), Time(400), &t);
-        assert_eq!(m.first_live(Time(0 + t.t2)), Some(NodeId(2)));
+        assert_eq!(m.first_live(Time(t.t2)), Some(NodeId(2)));
     }
 
     #[test]
@@ -304,7 +324,10 @@ mod tests {
         assert!(m.intercepts(Time(t.t1 - 1)));
         assert!(!m.intercepts(Time(t.t1)));
         assert!(m.dst_is_stale(Time(t.t1)));
-        assert!(m.dst_is_alive(Time(t.t1)), "stale but still forwarding data");
+        assert!(
+            m.dst_is_alive(Time(t.t1)),
+            "stale but still forwarding data"
+        );
     }
 
     #[test]

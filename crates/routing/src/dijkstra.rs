@@ -24,26 +24,72 @@ pub struct ShortestPaths {
     dist: Vec<PathCost>,
     /// `pred[v]` = previous hop on the shortest `root → v` path.
     pred: Vec<Option<NodeId>>,
+    /// `first[v]` = neighbor of `root` the shortest `root → v` path leaves
+    /// through (`None` for the root itself and for unreachable nodes).
+    first: Vec<Option<NodeId>>,
 }
 
 const UNREACHABLE: PathCost = PathCost::MAX;
 
+/// Reusable working storage for repeated Dijkstra runs.
+///
+/// All-pairs table construction ([`crate::RoutingTables::compute`]) runs
+/// one search per node; threading one scratch through them replaces `4n`
+/// fresh allocations per search with buffer resets.
+#[derive(Default)]
+pub struct DijkstraScratch {
+    pub(crate) dist: Vec<PathCost>,
+    pub(crate) pred: Vec<Option<NodeId>>,
+    pub(crate) first: Vec<Option<NodeId>>,
+    done: Vec<bool>,
+    heap: BinaryHeap<Reverse<(PathCost, NodeId)>>,
+}
+
+impl DijkstraScratch {
+    fn reset(&mut self, n: usize) {
+        self.dist.clear();
+        self.dist.resize(n, UNREACHABLE);
+        self.pred.clear();
+        self.pred.resize(n, None);
+        self.first.clear();
+        self.first.resize(n, None);
+        self.done.clear();
+        self.done.resize(n, false);
+        self.heap.clear();
+    }
+}
+
 /// Runs Dijkstra from `root` over the directed costs of `g`.
 pub fn shortest_paths(g: &Graph, root: NodeId) -> ShortestPaths {
-    let n = g.node_count();
-    let mut dist = vec![UNREACHABLE; n];
-    let mut pred: Vec<Option<NodeId>> = vec![None; n];
-    let mut done = vec![false; n];
-    let mut heap: BinaryHeap<Reverse<(PathCost, NodeId)>> = BinaryHeap::new();
+    let mut s = DijkstraScratch::default();
+    shortest_paths_into(g, root, &mut s);
+    ShortestPaths {
+        root,
+        dist: std::mem::take(&mut s.dist),
+        pred: std::mem::take(&mut s.pred),
+        first: std::mem::take(&mut s.first),
+    }
+}
 
-    dist[root.index()] = 0;
-    heap.push(Reverse((0, root)));
+/// [`shortest_paths`], but into caller-provided scratch storage. The
+/// results are left in `s.dist` / `s.pred` / `s.first`.
+///
+/// First hops are resolved inline during relaxation: when `v` is improved
+/// via `u`, `u` has already been finalized (its out-edges are only relaxed
+/// after it is popped as settled), so `first[u]` is final and
+/// `first[v] = first[u]` (or `v` itself when `u` is the root) holds for
+/// the eventual shortest path too.
+pub(crate) fn shortest_paths_into(g: &Graph, root: NodeId, s: &mut DijkstraScratch) {
+    s.reset(g.node_count());
 
-    while let Some(Reverse((d, u))) = heap.pop() {
-        if done[u.index()] {
+    s.dist[root.index()] = 0;
+    s.heap.push(Reverse((0, root)));
+
+    while let Some(Reverse((d, u))) = s.heap.pop() {
+        if s.done[u.index()] {
             continue;
         }
-        done[u.index()] = true;
+        s.done[u.index()] = true;
         // Hosts sink traffic; only the search root may emit from one.
         if u != root && g.is_host(u) {
             continue;
@@ -51,17 +97,20 @@ pub fn shortest_paths(g: &Graph, root: NodeId) -> ShortestPaths {
         for e in g.neighbors(u) {
             let v = e.to;
             let nd = d + PathCost::from(e.cost);
-            let better = nd < dist[v.index()]
-                || (nd == dist[v.index()] && tie_break(pred[v.index()], u));
-            if better && !done[v.index()] {
-                dist[v.index()] = nd;
-                pred[v.index()] = Some(u);
-                heap.push(Reverse((nd, v)));
+            let better = nd < s.dist[v.index()]
+                || (nd == s.dist[v.index()] && tie_break(s.pred[v.index()], u));
+            if better && !s.done[v.index()] {
+                s.dist[v.index()] = nd;
+                s.pred[v.index()] = Some(u);
+                s.first[v.index()] = if u == root {
+                    Some(v)
+                } else {
+                    s.first[u.index()]
+                };
+                s.heap.push(Reverse((nd, v)));
             }
         }
     }
-
-    ShortestPaths { root, dist, pred }
 }
 
 /// On an equal-cost tie, adopt the new predecessor only if it has a
@@ -108,13 +157,9 @@ impl ShortestPaths {
 
     /// First hop on the path `root → v` (i.e. the neighbor of `root` that
     /// traffic to `v` leaves through). `None` if `v` is the root itself or
-    /// unreachable.
+    /// unreachable. O(1): first hops are resolved during the search.
     pub fn first_hop(&self, v: NodeId) -> Option<NodeId> {
-        if v == self.root {
-            return None;
-        }
-        let path = self.path_to(v)?;
-        Some(path[1])
+        self.first[v.index()]
     }
 }
 
@@ -247,6 +292,23 @@ mod tests {
     }
 
     #[test]
+    fn inline_first_hops_match_reconstructed_paths() {
+        use hbh_topo::scenarios;
+        for g in [scenarios::fig2(), scenarios::fig3()] {
+            for root in g.nodes() {
+                let sp = shortest_paths(&g, root);
+                for v in g.nodes() {
+                    let expected = match sp.path_to(v) {
+                        Some(p) if p.len() >= 2 => Some(p[1]),
+                        _ => None,
+                    };
+                    assert_eq!(sp.first_hop(v), expected, "first hop {root}->{v}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn fig2_routes_match_paper() {
         use hbh_topo::scenarios;
         let g = scenarios::fig2();
@@ -261,9 +323,18 @@ mod tests {
         assert_eq!(from_s.path_to(rx3), Some(vec![s, r1, r3, rx3]));
 
         // Upstream routes.
-        assert_eq!(shortest_paths(&g, rx1).path_to(s), Some(vec![rx1, r2, r1, s]));
-        assert_eq!(shortest_paths(&g, rx2).path_to(s), Some(vec![rx2, r3, r1, s]));
-        assert_eq!(shortest_paths(&g, rx3).path_to(s), Some(vec![rx3, r3, r1, s]));
+        assert_eq!(
+            shortest_paths(&g, rx1).path_to(s),
+            Some(vec![rx1, r2, r1, s])
+        );
+        assert_eq!(
+            shortest_paths(&g, rx2).path_to(s),
+            Some(vec![rx2, r3, r1, s])
+        );
+        assert_eq!(
+            shortest_paths(&g, rx3).path_to(s),
+            Some(vec![rx3, r3, r1, s])
+        );
     }
 
     #[test]

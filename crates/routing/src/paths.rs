@@ -73,8 +73,11 @@ impl DistTree {
         if self.paths.is_empty() {
             return None;
         }
-        let total: PathCost =
-            self.paths.keys().map(|&r| self.delay_to(g, r).unwrap()).sum();
+        let total: PathCost = self
+            .paths
+            .keys()
+            .map(|&r| self.delay_to(g, r).unwrap())
+            .sum();
         Some(total as f64 / self.paths.len() as f64)
     }
 
@@ -148,7 +151,10 @@ mod tests {
             tree.path_to(n(&g, "r1")).unwrap(),
             &[n(&g, "S"), n(&g, "R1"), n(&g, "R3"), n(&g, "r1")]
         );
-        assert_eq!(tree.path_to(n(&g, "r2")).unwrap(), &[n(&g, "S"), n(&g, "R4"), n(&g, "r2")]);
+        assert_eq!(
+            tree.path_to(n(&g, "r2")).unwrap(),
+            &[n(&g, "S"), n(&g, "R4"), n(&g, "r2")]
+        );
         // 3 + 2 downstream links, no sharing.
         assert_eq!(tree.cost(), 5);
     }

@@ -60,25 +60,19 @@ pub fn bottleneck(g: &Graph, path: &[NodeId]) -> Option<Bandwidth> {
 
 /// True if every directed link of `path` offers at least `min_bw`.
 pub fn path_is_compliant(g: &Graph, path: &[NodeId], min_bw: Bandwidth) -> bool {
-    bottleneck(g, path).map_or(false, |b| b >= min_bw)
+    bottleneck(g, path).is_some_and(|b| b >= min_bw)
 }
 
 /// Admission check for a whole channel: every receiver reachable over
 /// compliant links.
-pub fn channel_admitted(
-    t: &RoutingTables,
-    source: NodeId,
-    receivers: &[NodeId],
-) -> bool {
-    receivers.iter().all(|&r| admitted(t, source, r) && admitted(t, r, source))
+pub fn channel_admitted(t: &RoutingTables, source: NodeId, receivers: &[NodeId]) -> bool {
+    receivers
+        .iter()
+        .all(|&r| admitted(t, source, r) && admitted(t, r, source))
 }
 
 /// Convenience: the constrained shortest path, if admitted.
-pub fn constrained_path(
-    t: &RoutingTables,
-    src: NodeId,
-    dst: NodeId,
-) -> Option<Vec<NodeId>> {
+pub fn constrained_path(t: &RoutingTables, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
     admitted(t, src, dst).then(|| t.path(src, dst)).flatten()
 }
 

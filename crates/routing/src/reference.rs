@@ -30,9 +30,17 @@ pub fn floyd_warshall(g: &Graph) -> Vec<Vec<Option<PathCost>>> {
     }
     for k in g.nodes().filter(|&k| g.is_router(k)) {
         for i in 0..n {
-            let Some(dik) = dist[i][k.index()] else { continue };
+            let Some(dik) = dist[i][k.index()] else {
+                continue;
+            };
+            // Indexes two rows of `dist` (row k read, row i written, possibly
+            // the same row); an iterator form would fight the borrow checker
+            // for no clarity gain in a reference implementation.
+            #[allow(clippy::needless_range_loop)]
             for j in 0..n {
-                let Some(dkj) = dist[k.index()][j] else { continue };
+                let Some(dkj) = dist[k.index()][j] else {
+                    continue;
+                };
                 let through = dik + dkj;
                 let cell = &mut dist[i][j];
                 if cell.map_or(true, |d| through < d) {

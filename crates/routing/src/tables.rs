@@ -6,7 +6,7 @@
 //! running [`crate::dijkstra`] from every node — NS-2's static routing does
 //! the same before the simulation starts.
 
-use crate::dijkstra::{shortest_paths, ShortestPaths};
+use crate::dijkstra::{shortest_paths_into, DijkstraScratch};
 use hbh_topo::graph::{Graph, NodeId, PathCost};
 
 /// Precomputed all-pairs routing: distances and next hops.
@@ -40,13 +40,20 @@ pub struct RoutingTables {
 
 impl RoutingTables {
     /// Builds the tables for the current costs of `g`.
+    ///
+    /// One Dijkstra run per node, all sharing one scratch buffer. Each
+    /// search resolves first hops inline, so a table row is a plain copy of
+    /// the search result — no per-row sort or path reconstruction.
     pub fn compute(g: &Graph) -> Self {
         let n = g.node_count();
         let mut dist = vec![PathCost::MAX; n * n];
         let mut next = vec![None; n * n];
+        let mut scratch = DijkstraScratch::default();
         for u in g.nodes() {
-            let sp = shortest_paths(g, u);
-            fill_row(&sp, g, u, &mut dist[u.index() * n..], &mut next[u.index() * n..]);
+            shortest_paths_into(g, u, &mut scratch);
+            let row = u.index() * n;
+            dist[row..row + n].copy_from_slice(&scratch.dist);
+            next[row..row + n].copy_from_slice(&scratch.first);
         }
         RoutingTables { n, dist, next }
     }
@@ -82,30 +89,6 @@ impl RoutingTables {
             assert!(path.len() <= self.n, "routing loop from {from} to {to}");
         }
         Some(path)
-    }
-}
-
-/// Derives per-destination next hops from one Dijkstra run: the first hop
-/// of `u → v` is the first hop of `u → pred(v)` unless `pred(v) = u`.
-fn fill_row(
-    sp: &ShortestPaths,
-    g: &Graph,
-    u: NodeId,
-    dist_row: &mut [PathCost],
-    next_row: &mut [Option<NodeId>],
-) {
-    // Process in order of increasing distance so a node's predecessor is
-    // always resolved before the node itself. Collect & sort: n is small
-    // (≤ 100 in all experiments).
-    let mut order: Vec<NodeId> = g.nodes().filter(|&v| sp.dist(v).is_some()).collect();
-    order.sort_by_key(|&v| (sp.dist(v).unwrap(), v));
-    for v in order {
-        dist_row[v.index()] = sp.dist(v).unwrap();
-        if v == u {
-            continue;
-        }
-        let p = sp.pred(v).expect("reachable non-root has a predecessor");
-        next_row[v.index()] = if p == u { Some(v) } else { next_row[p.index()] };
     }
 }
 

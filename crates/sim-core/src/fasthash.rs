@@ -1,0 +1,125 @@
+//! Fast non-cryptographic hashing for simulation-internal maps.
+//!
+//! The kernel's timer map and the protocols' per-node channel tables are
+//! hit on nearly every event, and their keys are simulation-internal
+//! (node ids, channels, timer enums) — never attacker-controlled — so
+//! SipHash's DoS resistance buys nothing here. This is the Fx
+//! multiply-xor hash (the scheme rustc uses for its interning tables):
+//! one rotate, one xor, one multiply per 8-byte word.
+//!
+//! Determinism note: `BuildHasherDefault` gives every map the same (zero)
+//! seed, so map iteration order is reproducible across runs of the same
+//! binary — strictly more deterministic than `RandomState`. No observable
+//! simulation behaviour depends on iteration order either way (the
+//! determinism tests cover this), but reproducible order makes debugging
+//! dumps stable.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-xor hasher over 8-byte words.
+#[derive(Default)]
+pub struct FxHasher(u64);
+
+/// `2^64 / φ`, the usual Fibonacci-hashing multiplier.
+const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Zero-seeded builder: same hash across maps and runs.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` defaulted to the fast hasher.
+pub type FastMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` defaulted to the fast hasher.
+pub type FastSet<K> = HashSet<K, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn same_key_same_hash() {
+        let b = FxBuildHasher::default();
+        assert_eq!(b.hash_one((3u32, 7u64)), b.hash_one((3u32, 7u64)));
+    }
+
+    #[test]
+    fn distinguishes_nearby_keys() {
+        let b = FxBuildHasher::default();
+        let hashes: std::collections::HashSet<u64> = (0u64..1000).map(|i| b.hash_one(i)).collect();
+        assert_eq!(hashes.len(), 1000, "no collisions on a small dense range");
+    }
+
+    #[test]
+    fn byte_writes_cover_partial_chunks() {
+        let b = FxBuildHasher::default();
+        assert_ne!(b.hash_one([1u8, 2, 3]), b.hash_one([1u8, 2, 4]));
+        assert_ne!(b.hash_one("abcdefghi"), b.hash_one("abcdefghj"));
+    }
+
+    #[test]
+    fn fast_map_works_as_a_map() {
+        let mut m: FastMap<(u32, u32), u64> = FastMap::default();
+        for i in 0..100 {
+            m.insert((i, i * 2), u64::from(i));
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get(&(40, 80)), Some(&40));
+        assert_eq!(m.remove(&(40, 80)), Some(40));
+        assert_eq!(m.get(&(40, 80)), None);
+    }
+}

@@ -22,6 +22,7 @@
 //! previous instance and cancellation is exact (ids are globally unique, so
 //! a stale heap entry can never fire).
 
+use crate::fasthash::{FastMap, FxBuildHasher};
 use crate::network::Network;
 use crate::packet::Packet;
 use crate::stats::{Delivery, Stats};
@@ -30,8 +31,6 @@ use crate::trace::{Trace, TraceKind};
 use hbh_topo::graph::NodeId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
 use std::fmt::Debug;
 use std::hash::Hash;
 
@@ -114,7 +113,10 @@ impl LossModel {
     /// Loss on control packets only (the soft-state robustness tests).
     pub fn control_only(p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p));
-        LossModel { control: p, data: 0.0 }
+        LossModel {
+            control: p,
+            data: 0.0,
+        }
     }
 
     fn prob_for(&self, class: crate::packet::PacketClass) -> f64 {
@@ -131,38 +133,193 @@ enum EventKind<M, T, C> {
     Command { node: NodeId, cmd: C },
 }
 
-struct Scheduled<M, T, C> {
-    at: Time,
-    seq: u64,
-    kind: EventKind<M, T, C>,
+/// Near/far split for the two-band scheduler. Per-hop packet delays are
+/// single link costs (small integers), while every protocol timer is at
+/// least one refresh period (≥ 100 time units by [`Timing` defaults]):
+/// the workload is bimodal with nothing near the boundary. Banding is a
+/// performance hint only — `pop` compares both band heads on the full
+/// `(at, seq)` key, so dispatch order is exact no matter which band an
+/// event landed in. Must be a power of two (slot index is `at % 64`).
+const NEAR_HORIZON: u64 = 64;
+
+/// One calendar-wheel slot: events due at a single time, in push (= seq)
+/// order, with a read cursor instead of front removal.
+struct WheelSlot {
+    entries: Vec<(Time, u64, u32)>,
+    read: usize,
 }
 
-impl<M, T, C> PartialEq for Scheduled<M, T, C> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
+/// The pending-event set: a two-band scheduler over `(at, seq, slab
+/// index)` keys with the event bodies slab-allocated off to the side.
+///
+/// Event bodies (notably `Arrive`, which carries a whole `Packet<M>`) are
+/// large; keeping them out of the key structures means scheduling moves
+/// 24-byte tuples instead of full events. Bodies live in `kinds` until
+/// popped; freed slots recycle through `free`, so steady-state scheduling
+/// performs no allocation.
+///
+/// The two bands exploit the bimodal delay distribution:
+///
+/// * **Near band** — events due within [`NEAR_HORIZON`] of their push
+///   time (in-flight packets): a 64-slot calendar wheel indexed by
+///   `at % 64`. All pending events lie in `[now, now + 64)`, so a slot
+///   holds exactly one distinct due time and O(1) appends keep it in seq
+///   order; `occ` (bit `s` ⇔ slot `s` nonempty) turns earliest-slot
+///   lookup into a rotate + trailing_zeros.
+/// * **Far band** — longer-dated events (timer expiries): a Vec sorted
+///   ascending with a consumed-prefix cursor. Timer deadlines are
+///   quasi-monotone in push order, so inserts are overwhelmingly appends.
+struct EventQueue<M, T, C> {
+    wheel: Vec<WheelSlot>, // NEAR_HORIZON slots
+    /// Occupancy bitmask: bit `s` set iff `wheel[s]` has unread entries.
+    occ: u64,
+    far: Vec<(Time, u64, u32)>, // sorted ascending from `far_head`
+    far_head: usize,
+    kinds: Vec<Option<EventKind<M, T, C>>>,
+    free: Vec<u32>,
+    /// Scheduled-but-undispatched `Arrive` events carrying data-class
+    /// packets. Data forwarding is strictly arrival-driven (no protocol
+    /// re-emits a data packet from a timer), so when this hits zero every
+    /// data packet in the simulation has fully propagated — the
+    /// early-termination signal for probe windows.
+    pending_data: u64,
 }
-impl<M, T, C> Eq for Scheduled<M, T, C> {}
-impl<M, T, C> PartialOrd for Scheduled<M, T, C> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+
+impl<M, T, C> EventQueue<M, T, C> {
+    fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            wheel: (0..NEAR_HORIZON)
+                .map(|_| WheelSlot {
+                    entries: Vec::new(),
+                    read: 0,
+                })
+                .collect(),
+            occ: 0,
+            far: Vec::with_capacity(cap),
+            far_head: 0,
+            kinds: Vec::with_capacity(cap),
+            free: Vec::new(),
+            pending_data: 0,
+        }
     }
-}
-impl<M, T, C> Ord for Scheduled<M, T, C> {
-    /// Reversed so the `BinaryHeap` (a max-heap) pops the *earliest* event;
-    /// ties break in scheduling order for determinism.
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+
+    fn push(&mut self, now: Time, at: Time, seq: u64, kind: EventKind<M, T, C>) {
+        if let EventKind::Arrive { pkt, .. } = &kind {
+            if pkt.class == crate::packet::PacketClass::Data {
+                self.pending_data += 1;
+            }
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.kinds[i as usize] = Some(kind);
+                i
+            }
+            None => {
+                let i = u32::try_from(self.kinds.len()).expect("event queue overflow");
+                self.kinds.push(Some(kind));
+                i
+            }
+        };
+        let key = (at, seq, idx);
+        if at.0.saturating_sub(now.0) < NEAR_HORIZON {
+            let s = (at.0 % NEAR_HORIZON) as usize;
+            let slot = &mut self.wheel[s];
+            // Unread entries of a slot always share one due time: two
+            // distinct times in [now, now + 64) cannot collide mod 64.
+            debug_assert!(slot.entries[slot.read..].iter().all(|e| e.0 == at));
+            slot.entries.push(key);
+            self.occ |= 1 << s;
+        } else if self.far.last().map_or(true, |&last| last < key) {
+            self.far.push(key);
+        } else {
+            let pos = self.far_head + self.far[self.far_head..].partition_point(|&e| e < key);
+            self.far.insert(pos, key);
+        }
+    }
+
+    /// The earliest-due wheel slot at `now`, if any. All pending wheel
+    /// events lie in `[now, now + 64)`, so scanning the occupancy bits
+    /// upward from `now`'s slot (wrapping) visits slots in due-time order.
+    fn wheel_slot(&self, now: Time) -> Option<usize> {
+        if self.occ == 0 {
+            return None;
+        }
+        let base = (now.0 % NEAR_HORIZON) as u32;
+        let off = self.occ.rotate_right(base).trailing_zeros();
+        Some(((base + off) as u64 % NEAR_HORIZON) as usize)
+    }
+
+    fn wheel_head(&self, now: Time) -> Option<(Time, u64, u32)> {
+        let s = self.wheel_slot(now)?;
+        let slot = &self.wheel[s];
+        Some(slot.entries[slot.read])
+    }
+
+    /// Time of the earliest pending event. `now` must not exceed any
+    /// pending event's due time (the kernel clock guarantees this).
+    fn peek_at(&self, now: Time) -> Option<Time> {
+        match (self.wheel_head(now), self.far.get(self.far_head)) {
+            (Some(n), Some(f)) => Some(n.0.min(f.0)),
+            (Some(n), None) => Some(n.0),
+            (None, f) => f.map(|k| k.0),
+        }
+    }
+
+    /// Pops the earliest event in `(at, seq)` order.
+    fn pop(&mut self, now: Time) -> Option<(Time, EventKind<M, T, C>)> {
+        let (at, _seq, idx) = match (self.wheel_head(now), self.far.get(self.far_head)) {
+            // seq is globally unique, so full-key comparison totally
+            // orders the two heads; < vs <= is immaterial.
+            (Some(n), Some(&f)) if n < f => self.pop_wheel(now),
+            (Some(_), None) => self.pop_wheel(now),
+            (_, Some(_)) => self.pop_far(),
+            (None, None) => return None,
+        };
+        let kind = self.kinds[idx as usize]
+            .take()
+            .expect("slab slot vacated early");
+        self.free.push(idx);
+        if let EventKind::Arrive { pkt, .. } = &kind {
+            if pkt.class == crate::packet::PacketClass::Data {
+                self.pending_data -= 1;
+            }
+        }
+        Some((at, kind))
+    }
+
+    fn pop_wheel(&mut self, now: Time) -> (Time, u64, u32) {
+        let s = self.wheel_slot(now).expect("caller saw a wheel head");
+        let slot = &mut self.wheel[s];
+        let key = slot.entries[slot.read];
+        slot.read += 1;
+        if slot.read == slot.entries.len() {
+            slot.entries.clear();
+            slot.read = 0;
+            self.occ &= !(1 << s);
+        }
+        key
+    }
+
+    fn pop_far(&mut self) -> (Time, u64, u32) {
+        let key = self.far[self.far_head];
+        self.far_head += 1;
+        // Compact the consumed prefix once it dominates the vector, so
+        // the band doesn't grow without bound over a long run.
+        if self.far_head >= 64 && 2 * self.far_head >= self.far.len() {
+            self.far.drain(..self.far_head);
+            self.far_head = 0;
+        }
+        key
     }
 }
 
 /// Kernel internals shared with protocol handlers through [`Ctx`].
 struct Core<M, T, C> {
     net: Network,
-    queue: BinaryHeap<Scheduled<M, T, C>>,
+    queue: EventQueue<M, T, C>,
     now: Time,
     seq: u64,
-    timer_ids: HashMap<(NodeId, T), u64>,
+    timer_ids: FastMap<(NodeId, T), u64>,
     stats: Stats,
     rng: StdRng,
     trace: Trace<M>,
@@ -173,12 +330,21 @@ impl<M: Clone + Debug, T: Clone + Eq + Hash + Debug, C: Clone + Debug> Core<M, T
     fn push(&mut self, at: Time, kind: EventKind<M, T, C>) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Scheduled { at, seq, kind });
+        self.queue.push(self.now, at, seq, kind);
     }
 
     fn drop_packet(&mut self, node: NodeId, pkt: &Packet<M>, reason: DropReason) {
         self.stats.drops += 1;
-        self.trace.record(self.now, node, TraceKind::Dropped { pkt: pkt.clone(), reason });
+        if self.trace.active() {
+            self.trace.record(
+                self.now,
+                node,
+                TraceKind::Dropped {
+                    pkt: pkt.clone(),
+                    reason,
+                },
+            );
+        }
     }
 
     /// Puts `pkt` on the wire at `from`, headed for `pkt.dst` via the
@@ -186,31 +352,64 @@ impl<M: Clone + Debug, T: Clone + Eq + Hash + Debug, C: Clone + Debug> Core<M, T
     fn transmit(&mut self, from: NodeId, pkt: Packet<M>) {
         if pkt.dst == from {
             // Local loopback: deliver to self without touching a link.
-            self.trace.record(self.now, from, TraceKind::Loopback { pkt: pkt.clone() });
+            if self.trace.active() {
+                self.trace
+                    .record(self.now, from, TraceKind::Loopback { pkt: pkt.clone() });
+            }
             self.push(self.now, EventKind::Arrive { node: from, pkt });
             return;
         }
-        let Some(next) = self.net.next_hop(from, pkt.dst) else {
+        let Some((next, eid, cost)) = self.net.hop(from, pkt.dst) else {
             self.drop_packet(from, &pkt, DropReason::NoRoute);
             return;
         };
-        self.put_on_link(from, next, pkt);
+        self.put_on_edge(from, next, eid, cost, pkt);
+    }
+
+    /// Link-local entry point: resolves the edge by one adjacency scan
+    /// (per-oif forwarding addresses neighbors directly, so there is no
+    /// routing row to read the edge from).
+    fn put_on_link(&mut self, from: NodeId, next: NodeId, pkt: Packet<M>) {
+        let (eid, cost) = self
+            .net
+            .graph()
+            .edge_entry(from, next)
+            .unwrap_or_else(|| panic!("no link {from}->{next}"));
+        self.put_on_edge(from, next, eid, cost, pkt);
     }
 
     /// Common tail of routed and link-local transmission: loss injection,
     /// accounting, arrival scheduling.
-    fn put_on_link(&mut self, from: NodeId, next: NodeId, pkt: Packet<M>) {
+    fn put_on_edge(
+        &mut self,
+        from: NodeId,
+        next: NodeId,
+        eid: hbh_topo::graph::EdgeId,
+        cost: hbh_topo::graph::Cost,
+        pkt: Packet<M>,
+    ) {
         if self.lose(pkt.class) {
             // The copy is counted as transmitted (it did occupy the link)
             // and then lost.
-            self.stats.count_transit(from, next, pkt.class, pkt.tag);
+            self.stats.count_transit(eid, pkt.class, pkt.tag);
             self.drop_packet(from, &pkt, DropReason::InjectedLoss);
             return;
         }
-        let cost = self.net.link_cost(from, next);
-        self.stats.count_transit(from, next, pkt.class, pkt.tag);
-        self.trace.record(self.now, from, TraceKind::Sent { to: next, pkt: pkt.clone() });
-        self.push(self.now + u64::from(cost), EventKind::Arrive { node: next, pkt });
+        self.stats.count_transit(eid, pkt.class, pkt.tag);
+        if self.trace.active() {
+            self.trace.record(
+                self.now,
+                from,
+                TraceKind::Sent {
+                    to: next,
+                    pkt: pkt.clone(),
+                },
+            );
+        }
+        self.push(
+            self.now + u64::from(cost),
+            EventKind::Arrive { node: next, pkt },
+        );
     }
 
     fn lose(&mut self, class: crate::packet::PacketClass) -> bool {
@@ -234,7 +433,7 @@ impl<M: Clone + Debug, T: Clone + Eq + Hash + Debug, C: Clone + Debug> Core<M, T
     /// Panics if no such link exists — per-oif state always points at a
     /// direct neighbor, so a violation is a protocol bug.
     fn transmit_link(&mut self, from: NodeId, via: NodeId, pkt: Packet<M>) {
-        let _ = self.net.link_cost(from, via); // assert the link exists
+        // put_on_link resolves the edge and panics if no such link exists.
         self.put_on_link(from, via, pkt);
     }
 }
@@ -311,8 +510,14 @@ impl<M: Clone + Debug, T: Clone + Eq + Hash + Debug, C: Clone + Debug> KernelOps
         Core::forward(self, from, pkt);
     }
     fn deliver(&mut self, node: NodeId, tag: u64, injected_at: Time) {
-        self.trace.record(self.now, node, TraceKind::Delivered { tag });
-        self.stats.deliveries.push(Delivery { node, at: self.now, tag, injected_at });
+        self.trace
+            .record(self.now, node, TraceKind::Delivered { tag });
+        self.stats.deliveries.push(Delivery {
+            node,
+            at: self.now,
+            tag,
+            injected_at,
+        });
     }
     fn set_timer(&mut self, node: NodeId, timer: T, delay: u64) {
         let id = self.seq; // globally unique, monotonic
@@ -409,16 +614,21 @@ impl<P: Protocol> Kernel<P> {
     /// the RNG seeded from `seed`.
     pub fn new(net: Network, proto: P, seed: u64) -> Self {
         let n = net.node_count();
+        // Pre-size the scheduler and keyed-timer map from the topology:
+        // in-flight events scale with nodes (a few packets/timers each).
+        // Generous guesses — the point is to skip the first few doubling
+        // reallocations, not to be exact.
+        let stats = Stats::for_graph(net.graph());
         Kernel {
             proto,
             states: (0..n).map(|_| P::NodeState::default()).collect(),
             core: Core {
                 net,
-                queue: BinaryHeap::new(),
+                queue: EventQueue::with_capacity(64 + 4 * n),
                 now: Time::ZERO,
                 seq: 0,
-                timer_ids: HashMap::new(),
-                stats: Stats::default(),
+                timer_ids: FastMap::with_capacity_and_hasher(2 * n, FxBuildHasher::default()),
+                stats,
                 rng: StdRng::seed_from_u64(seed),
                 trace: Trace::disabled(),
                 loss: LossModel::default(),
@@ -454,8 +664,8 @@ impl<P: Protocol> Kernel<P> {
     /// Processes every event up to and including `until`, then advances the
     /// clock to `until`.
     pub fn run_until(&mut self, until: Time) {
-        while let Some(head) = self.core.queue.peek() {
-            if head.at > until {
+        while let Some(at) = self.core.queue.peek_at(self.core.now) {
+            if at > until {
                 break;
             }
             self.step();
@@ -465,31 +675,62 @@ impl<P: Protocol> Kernel<P> {
 
     /// Time of the next pending event, if any.
     pub fn peek_next(&self) -> Option<Time> {
-        self.core.queue.peek().map(|s| s.at)
+        self.core.queue.peek_at(self.core.now)
+    }
+
+    /// Number of scheduled-but-undispatched data-class packet arrivals.
+    ///
+    /// Data forwarding is strictly arrival-driven — no protocol re-emits a
+    /// data packet from a timer or command it hasn't already received — so
+    /// once this returns zero *after* a data injection, every copy of that
+    /// packet has fully propagated: no further transmissions, deliveries,
+    /// or drops attributable to it can occur. Experiment runners use this
+    /// to end probe windows as soon as the wave dies out instead of
+    /// simulating the full worst-case horizon.
+    pub fn pending_data_arrivals(&self) -> u64 {
+        self.core.queue.pending_data
     }
 
     /// Pops and dispatches one event. Returns `false` if the queue was
     /// empty.
     pub fn step(&mut self) -> bool {
-        let Some(Scheduled { at, kind, .. }) = self.core.queue.pop() else {
+        let Some((at, kind)) = self.core.queue.pop(self.core.now) else {
             return false;
         };
         debug_assert!(at >= self.core.now, "event from the past");
         self.core.now = at;
+        self.core.stats.events += 1;
         match kind {
             EventKind::Arrive { node, pkt } => self.dispatch_arrival(node, pkt),
             EventKind::Timer { node, timer, id } => {
                 // Fire only the newest instance; stale heap entries are
-                // ignored, cancelled ones find no map entry.
-                if self.core.timer_ids.get(&(node, timer.clone())) == Some(&id) {
-                    self.core.timer_ids.remove(&(node, timer.clone()));
-                    let mut ctx = Ctx { node, core: &mut self.core };
-                    self.proto.on_timer(&mut self.states[node.index()], timer, &mut ctx);
+                // ignored, cancelled ones find no map entry. Speculatively
+                // remove (one hash lookup on the overwhelmingly common
+                // current-instance path) and re-insert on a stale hit.
+                match self.core.timer_ids.remove(&(node, timer.clone())) {
+                    Some(stored) if stored == id => {
+                        let mut ctx = Ctx {
+                            node,
+                            core: &mut self.core,
+                        };
+                        self.proto
+                            .on_timer(&mut self.states[node.index()], timer, &mut ctx);
+                    }
+                    Some(newer) => {
+                        // Stale instance popped before the re-armed one:
+                        // put the live id back untouched.
+                        self.core.timer_ids.insert((node, timer), newer);
+                    }
+                    None => {} // cancelled
                 }
             }
             EventKind::Command { node, cmd } => {
-                let mut ctx = Ctx { node, core: &mut self.core };
-                self.proto.on_command(&mut self.states[node.index()], cmd, &mut ctx);
+                let mut ctx = Ctx {
+                    node,
+                    core: &mut self.core,
+                };
+                self.proto
+                    .on_command(&mut self.states[node.index()], cmd, &mut ctx);
             }
         }
         true
@@ -498,14 +739,20 @@ impl<P: Protocol> Kernel<P> {
     fn dispatch_arrival(&mut self, node: NodeId, pkt: Packet<P::Msg>) {
         let g = self.core.net.graph();
         if g.is_host(node) && pkt.dst != node {
-            self.core.drop_packet(node, &pkt, DropReason::MisroutedToHost);
+            self.core
+                .drop_packet(node, &pkt, DropReason::MisroutedToHost);
             return;
         }
         if self.core.net.runs_protocol(node) {
-            let mut ctx = Ctx { node, core: &mut self.core };
-            self.proto.on_packet(&mut self.states[node.index()], pkt, &mut ctx);
+            let mut ctx = Ctx {
+                node,
+                core: &mut self.core,
+            };
+            self.proto
+                .on_packet(&mut self.states[node.index()], pkt, &mut ctx);
         } else if pkt.dst == node {
-            self.core.drop_packet(node, &pkt, DropReason::AddressedToUnicastRouter);
+            self.core
+                .drop_packet(node, &pkt, DropReason::AddressedToUnicastRouter);
         } else {
             // Unicast-only router: plain IP forwarding, no protocol.
             self.core.forward(node, pkt);
@@ -765,7 +1012,11 @@ mod tests {
         k.run_until(Time(10));
         assert_eq!(k.stats().deliveries.len(), 1);
         assert_eq!(k.stats().deliveries[0].at, Time(0));
-        assert_eq!(k.stats().data_copies_tagged(4), 0, "loopback touches no link");
+        assert_eq!(
+            k.stats().data_copies_tagged(4),
+            0,
+            "loopback touches no link"
+        );
     }
 
     #[test]
@@ -775,8 +1026,12 @@ mod tests {
         k.command_at(h1, TestCmd::Ping { to: h2, tag: 1 }, Time::ZERO);
         k.run_until(Time(100));
         let trace = k.take_trace();
-        assert!(trace.iter().any(|r| matches!(r.what, TraceKind::Sent { .. })));
-        assert!(trace.iter().any(|r| matches!(r.what, TraceKind::Delivered { tag: 1 })));
+        assert!(trace
+            .iter()
+            .any(|r| matches!(r.what, TraceKind::Sent { .. })));
+        assert!(trace
+            .iter()
+            .any(|r| matches!(r.what, TraceKind::Delivered { tag: 1 })));
     }
 
     #[test]

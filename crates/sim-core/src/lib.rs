@@ -36,6 +36,7 @@
 //! exact same execution. All randomness flows through one explicitly-seeded
 //! `StdRng` owned by the kernel.
 
+pub mod fasthash;
 pub mod kernel;
 pub mod network;
 pub mod packet;
@@ -43,6 +44,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use fasthash::{FastMap, FastSet, FxBuildHasher, FxHasher};
 pub use kernel::{Ctx, DropReason, Kernel, KernelOps, LossModel, Protocol};
 pub use network::Network;
 pub use packet::{Packet, PacketClass};

@@ -7,13 +7,68 @@
 //! they are in the paper.)
 
 use hbh_routing::RoutingTables;
-use hbh_topo::graph::{Cost, Graph, NodeId, PathCost};
+use hbh_topo::graph::{Cost, EdgeId, Graph, NodeId, PathCost};
+use std::sync::Arc;
 
 /// Immutable topology + routing bundle shared by a simulation run.
+///
+/// Internally reference-counted: [`Network::clone`] is an `Arc` bump, so
+/// the paired-run experiment design — four protocol kernels over one
+/// scenario draw — shares a single graph and a single all-pairs routing
+/// computation instead of recomputing `n` Dijkstra runs per kernel.
 #[derive(Clone, Debug)]
 pub struct Network {
+    inner: Arc<NetworkInner>,
+}
+
+#[derive(Debug)]
+struct NetworkInner {
     graph: Graph,
     tables: RoutingTables,
+    /// `hops[u * n + v]`: the next-hop row with the out-edge pre-resolved
+    /// against `graph`, so a per-packet forwarding step is one array read
+    /// instead of a table lookup plus an adjacency scan. Resolved here —
+    /// not in `RoutingTables` — because QoS tables are computed over a
+    /// *shadow* graph whose edge ids need not match the real one.
+    hops: Vec<HopEntry>,
+}
+
+/// One resolved forwarding step. `next == NO_HOP` means unreachable (or
+/// `u == v`); `eid`/`cost` are then meaningless.
+#[derive(Clone, Copy, Debug)]
+struct HopEntry {
+    next: u32,
+    eid: EdgeId,
+    cost: Cost,
+}
+
+const NO_HOP: u32 = u32::MAX;
+
+fn resolve_hops(graph: &Graph, tables: &RoutingTables) -> Vec<HopEntry> {
+    let n = graph.node_count();
+    let mut hops = vec![
+        HopEntry {
+            next: NO_HOP,
+            eid: EdgeId(0),
+            cost: 0
+        };
+        n * n
+    ];
+    for u in graph.nodes() {
+        for v in graph.nodes() {
+            if let Some(h) = tables.next_hop(u, v) {
+                let (eid, cost) = graph
+                    .edge_entry(u, h)
+                    .expect("next hop must follow a real link");
+                hops[u.index() * n + v.index()] = HopEntry {
+                    next: h.0,
+                    eid,
+                    cost,
+                };
+            }
+        }
+    }
+    hops
 }
 
 impl Network {
@@ -21,7 +76,14 @@ impl Network {
     /// both.
     pub fn new(graph: Graph) -> Self {
         let tables = RoutingTables::compute(&graph);
-        Network { graph, tables }
+        let hops = resolve_hops(&graph, &tables);
+        Network {
+            inner: Arc::new(NetworkInner {
+                graph,
+                tables,
+                hops,
+            }),
+        }
     }
 
     /// Freezes the graph with externally computed tables (e.g.
@@ -30,39 +92,60 @@ impl Network {
     /// # Panics
     /// Panics if the tables were built for a different node count.
     pub fn with_tables(graph: Graph, tables: RoutingTables) -> Self {
-        assert_eq!(graph.node_count(), tables.node_count(), "tables/graph mismatch");
-        Network { graph, tables }
+        assert_eq!(
+            graph.node_count(),
+            tables.node_count(),
+            "tables/graph mismatch"
+        );
+        let hops = resolve_hops(&graph, &tables);
+        Network {
+            inner: Arc::new(NetworkInner {
+                graph,
+                tables,
+                hops,
+            }),
+        }
     }
 
     /// The topology.
     pub fn graph(&self) -> &Graph {
-        &self.graph
+        &self.inner.graph
     }
 
     /// The all-pairs unicast routing tables.
     pub fn tables(&self) -> &RoutingTables {
-        &self.tables
+        &self.inner.tables
     }
 
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
-        self.graph.node_count()
+        self.inner.graph.node_count()
     }
 
     /// Next hop of a packet at `at` destined to `dst`.
     pub fn next_hop(&self, at: NodeId, dst: NodeId) -> Option<NodeId> {
-        self.tables.next_hop(at, dst)
+        self.inner.tables.next_hop(at, dst)
+    }
+
+    /// Resolved forwarding step at `at` toward `dst`: the next hop plus
+    /// the out-edge's id and cost — the per-packet hot path, one array
+    /// read instead of a table lookup and an adjacency scan.
+    pub fn hop(&self, at: NodeId, dst: NodeId) -> Option<(NodeId, EdgeId, Cost)> {
+        let n = self.inner.tables.node_count();
+        let e = self.inner.hops[at.index() * n + dst.index()];
+        (e.next != NO_HOP).then_some((NodeId(e.next), e.eid, e.cost))
     }
 
     /// Unicast distance (= minimal delay) `from → to`.
     pub fn dist(&self, from: NodeId, to: NodeId) -> Option<PathCost> {
-        self.tables.dist(from, to)
+        self.inner.tables.dist(from, to)
     }
 
     /// Directed link cost, panicking on a nonexistent link (kernel-internal
     /// transits always follow real links).
     pub fn link_cost(&self, from: NodeId, to: NodeId) -> Cost {
-        self.graph
+        self.inner
+            .graph
             .cost(from, to)
             .unwrap_or_else(|| panic!("no link {from}->{to}"))
     }
@@ -70,7 +153,7 @@ impl Network {
     /// Whether `n` participates in the multicast protocol (multicast-capable
     /// router, or any host — hosts run the source/receiver agents).
     pub fn runs_protocol(&self, n: NodeId) -> bool {
-        self.graph.is_host(n) || self.graph.is_mcast_capable(n)
+        self.inner.graph.is_host(n) || self.inner.graph.is_mcast_capable(n)
     }
 }
 
@@ -107,6 +190,16 @@ mod tests {
     fn missing_link_panics() {
         let (net, a, _, h) = net();
         let _ = (a, net.link_cost(h, NodeId(1)));
+    }
+
+    #[test]
+    fn clone_shares_routing_state() {
+        let (net, ..) = net();
+        let cloned = net.clone();
+        assert!(
+            Arc::ptr_eq(&net.inner, &cloned.inner),
+            "clone must not deep-copy"
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::packet::PacketClass;
 use crate::time::Time;
-use hbh_topo::graph::NodeId;
+use hbh_topo::graph::{EdgeId, Graph, LinkId, NodeId};
 use std::collections::BTreeMap;
 
 /// One application-level delivery (a data packet consumed by a receiver
@@ -36,14 +36,27 @@ impl Delivery {
 }
 
 /// Counters for one simulation run.
+///
+/// Per-link counters are flat arrays indexed by the graph's dense
+/// [`EdgeId`] — a packet hop is one array increment. The ordered-map views
+/// the analysis code consumes ([`Stats::data_copies_per_link`]) are
+/// reconstructed on demand; they are off the per-event hot path.
 #[derive(Clone, Debug, Default)]
 pub struct Stats {
-    /// Copies transmitted per directed link, data class, keyed by probe tag.
-    data_link_copies: BTreeMap<(u64, NodeId, NodeId), u64>,
-    /// Total control transmissions per directed link.
-    control_link_copies: BTreeMap<(NodeId, NodeId), u64>,
+    /// Endpoints of each directed edge, copied from the graph at kernel
+    /// construction so map views can be rebuilt without a graph reference.
+    edge_ends: Vec<LinkId>,
+    /// `control[e]` = control transmissions on edge `e`.
+    control: Vec<u64>,
+    /// Probe tags seen so far, in first-transit order. Runs inject a
+    /// handful of probes, so a linear scan beats any map.
+    data_tags: Vec<u64>,
+    /// `data_rows[i][e]` = copies of probe `data_tags[i]` on edge `e`.
+    data_rows: Vec<Vec<u64>>,
     /// Application deliveries, in arrival order.
     pub deliveries: Vec<Delivery>,
+    /// Events dispatched by the kernel (scheduler throughput metric).
+    pub events: u64,
     /// Packets dropped (TTL exhausted, no route, or misdelivered to a
     /// non-addressee host). Nonzero values in converged scenarios indicate
     /// protocol bugs; transient-phase drops are legitimate.
@@ -56,20 +69,32 @@ pub struct Stats {
 }
 
 impl Stats {
+    /// Counters sized for the edges of `g`. Kernels construct their stats
+    /// through this so every per-edge array is pre-sized once.
+    pub(crate) fn for_graph(g: &Graph) -> Self {
+        Stats {
+            edge_ends: g.edge_ends_all().to_vec(),
+            control: vec![0; g.directed_edge_count()],
+            ..Stats::default()
+        }
+    }
+
     /// Records one link transit.
-    pub(crate) fn count_transit(
-        &mut self,
-        from: NodeId,
-        to: NodeId,
-        class: PacketClass,
-        tag: u64,
-    ) {
+    pub(crate) fn count_transit(&mut self, edge: EdgeId, class: PacketClass, tag: u64) {
         match class {
             PacketClass::Data => {
-                *self.data_link_copies.entry((tag, from, to)).or_insert(0) += 1;
+                let row = match self.data_tags.iter().position(|&t| t == tag) {
+                    Some(i) => &mut self.data_rows[i],
+                    None => {
+                        self.data_tags.push(tag);
+                        self.data_rows.push(vec![0; self.edge_ends.len()]);
+                        self.data_rows.last_mut().expect("just pushed")
+                    }
+                };
+                row[edge.index()] += 1;
             }
             PacketClass::Control => {
-                *self.control_link_copies.entry((from, to)).or_insert(0) += 1;
+                self.control[edge.index()] += 1;
             }
         }
     }
@@ -77,24 +102,37 @@ impl Stats {
     /// Total data copies transmitted for probe `tag` — the paper's tree
     /// cost for that probe.
     pub fn data_copies_tagged(&self, tag: u64) -> u64 {
-        self.data_link_copies
-            .range((tag, NodeId(0), NodeId(0))..=(tag, NodeId(u32::MAX), NodeId(u32::MAX)))
-            .map(|(_, &c)| c)
-            .sum()
+        self.data_copies_by_edge(tag)
+            .map_or(0, |row| row.iter().sum())
+    }
+
+    /// Per-edge data copies for probe `tag`, indexed by [`EdgeId`], if the
+    /// probe transited any link. The zero-allocation view behind
+    /// [`Stats::data_copies_per_link`]; pair with the graph's
+    /// `edge_cost`/`edge_ends` for weighted sums.
+    pub fn data_copies_by_edge(&self, tag: u64) -> Option<&[u64]> {
+        let i = self.data_tags.iter().position(|&t| t == tag)?;
+        Some(&self.data_rows[i])
     }
 
     /// Per-link data copies for probe `tag` (for duplicate-copy assertions:
     /// Figure 3 shows REUNITE putting 2 copies on `R1→R6`).
     pub fn data_copies_per_link(&self, tag: u64) -> BTreeMap<(NodeId, NodeId), u64> {
-        self.data_link_copies
-            .range((tag, NodeId(0), NodeId(0))..=(tag, NodeId(u32::MAX), NodeId(u32::MAX)))
-            .map(|(&(_, f, t), &c)| ((f, t), c))
+        self.data_copies_by_edge(tag)
+            .into_iter()
+            .flat_map(|row| {
+                self.edge_ends
+                    .iter()
+                    .zip(row)
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(l, &c)| ((l.from, l.to), c))
+            })
             .collect()
     }
 
     /// Total control transmissions (protocol overhead ablation).
     pub fn control_copies(&self) -> u64 {
-        self.control_link_copies.values().sum()
+        self.control.iter().sum()
     }
 
     /// Deliveries attributed to probe `tag`.
@@ -113,12 +151,26 @@ impl Stats {
 mod tests {
     use super::*;
 
+    /// 0 — 1 — 2 line of routers; stats sized for its four directed edges.
+    fn stats_and_edges() -> (Stats, EdgeId, EdgeId, EdgeId) {
+        let mut g = Graph::new();
+        let a = g.add_router();
+        let b = g.add_router();
+        let c = g.add_router();
+        g.add_link(a, b, 1, 1);
+        g.add_link(b, c, 1, 1);
+        let ab = g.edge_entry(a, b).unwrap().0;
+        let ba = g.edge_entry(b, a).unwrap().0;
+        let bc = g.edge_entry(b, c).unwrap().0;
+        (Stats::for_graph(&g), ab, ba, bc)
+    }
+
     #[test]
     fn data_copies_separate_by_tag() {
-        let mut s = Stats::default();
-        s.count_transit(NodeId(0), NodeId(1), PacketClass::Data, 1);
-        s.count_transit(NodeId(0), NodeId(1), PacketClass::Data, 1);
-        s.count_transit(NodeId(1), NodeId(2), PacketClass::Data, 2);
+        let (mut s, ab, _, bc) = stats_and_edges();
+        s.count_transit(ab, PacketClass::Data, 1);
+        s.count_transit(ab, PacketClass::Data, 1);
+        s.count_transit(bc, PacketClass::Data, 2);
         assert_eq!(s.data_copies_tagged(1), 2);
         assert_eq!(s.data_copies_tagged(2), 1);
         assert_eq!(s.data_copies_tagged(3), 0);
@@ -126,25 +178,43 @@ mod tests {
 
     #[test]
     fn per_link_counts_expose_duplicates() {
-        let mut s = Stats::default();
-        s.count_transit(NodeId(0), NodeId(1), PacketClass::Data, 5);
-        s.count_transit(NodeId(0), NodeId(1), PacketClass::Data, 5);
+        let (mut s, ab, _, _) = stats_and_edges();
+        s.count_transit(ab, PacketClass::Data, 5);
+        s.count_transit(ab, PacketClass::Data, 5);
         let per_link = s.data_copies_per_link(5);
         assert_eq!(per_link[&(NodeId(0), NodeId(1))], 2);
+        assert_eq!(per_link.len(), 1, "untouched edges are not reported");
+    }
+
+    #[test]
+    fn by_edge_view_matches_per_link_map() {
+        let (mut s, ab, ba, bc) = stats_and_edges();
+        for e in [ab, ba, bc, bc] {
+            s.count_transit(e, PacketClass::Data, 9);
+        }
+        let row = s.data_copies_by_edge(9).unwrap();
+        assert_eq!(row.iter().sum::<u64>(), 4);
+        assert_eq!(row[bc.index()], 2);
+        assert_eq!(s.data_copies_by_edge(8), None);
     }
 
     #[test]
     fn control_counts_are_classless() {
-        let mut s = Stats::default();
-        s.count_transit(NodeId(0), NodeId(1), PacketClass::Control, 0);
-        s.count_transit(NodeId(1), NodeId(0), PacketClass::Control, 0);
+        let (mut s, ab, ba, _) = stats_and_edges();
+        s.count_transit(ab, PacketClass::Control, 0);
+        s.count_transit(ba, PacketClass::Control, 0);
         assert_eq!(s.control_copies(), 2);
         assert_eq!(s.data_copies_tagged(0), 0);
     }
 
     #[test]
     fn delivery_delay() {
-        let d = Delivery { node: NodeId(3), at: Time(30), tag: 1, injected_at: Time(12) };
+        let d = Delivery {
+            node: NodeId(3),
+            at: Time(30),
+            tag: 1,
+            injected_at: Time(12),
+        };
         assert_eq!(d.delay(), 18);
     }
 
@@ -160,8 +230,18 @@ mod tests {
     #[test]
     fn deliveries_filter_by_tag() {
         let mut s = Stats::default();
-        s.deliveries.push(Delivery { node: NodeId(1), at: Time(1), tag: 1, injected_at: Time(0) });
-        s.deliveries.push(Delivery { node: NodeId(2), at: Time(2), tag: 2, injected_at: Time(0) });
+        s.deliveries.push(Delivery {
+            node: NodeId(1),
+            at: Time(1),
+            tag: 1,
+            injected_at: Time(0),
+        });
+        s.deliveries.push(Delivery {
+            node: NodeId(2),
+            at: Time(2),
+            tag: 2,
+            injected_at: Time(0),
+        });
         assert_eq!(s.deliveries_tagged(1).count(), 1);
         assert_eq!(s.deliveries_tagged(2).next().unwrap().node, NodeId(2));
     }

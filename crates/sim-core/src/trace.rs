@@ -79,8 +79,17 @@ impl<M> Trace<M> {
         Trace { sink: None }
     }
 
+    /// Is a sink collecting? Callers check this before building records
+    /// whose construction itself costs something (packet clones).
+    #[inline]
+    pub(crate) fn active(&self) -> bool {
+        self.sink.is_some()
+    }
+
     pub(crate) fn enabled() -> Self {
-        Trace { sink: Some(Vec::new()) }
+        Trace {
+            sink: Some(Vec::new()),
+        }
     }
 
     pub(crate) fn record(&mut self, at: Time, node: NodeId, what: TraceKind<M>) {
@@ -128,8 +137,16 @@ mod tests {
                     pkt: Packet::control(NodeId(1), NodeId(2), "m"),
                 },
             },
-            TraceRecord { at: Time(4), node: NodeId(2), what: TraceKind::Delivered { tag: 7 } },
-            TraceRecord { at: Time(5), node: NodeId(2), what: TraceKind::Note("hi".into()) },
+            TraceRecord {
+                at: Time(4),
+                node: NodeId(2),
+                what: TraceKind::Delivered { tag: 7 },
+            },
+            TraceRecord {
+                at: Time(5),
+                node: NodeId(2),
+                what: TraceKind::Note("hi".into()),
+            },
         ];
         for r in &recs {
             assert!(!r.to_string().is_empty());

@@ -51,11 +51,17 @@ pub fn assign_uniform_with_asymmetry(
     rng: &mut StdRng,
 ) {
     assert!(lo >= 1 && lo <= hi, "invalid cost range [{lo}, {hi}]");
-    assert!((0.0..=1.0).contains(&asymmetry), "asymmetry must be a probability");
+    assert!(
+        (0.0..=1.0).contains(&asymmetry),
+        "asymmetry must be a probability"
+    );
     for (a, b, _, _) in g.undirected_links() {
         let forward = rng.random_range(lo..=hi);
-        let backward =
-            if rng.random::<f64>() < asymmetry { rng.random_range(lo..=hi) } else { forward };
+        let backward = if rng.random::<f64>() < asymmetry {
+            rng.random_range(lo..=hi)
+        } else {
+            forward
+        };
         g.set_cost(a, b, forward);
         g.set_cost(b, a, backward);
     }
@@ -78,12 +84,7 @@ pub fn assign_bandwidths(g: &mut Graph, lo: Bandwidth, hi: Bandwidth, rng: &mut 
 /// access links keep unlimited bandwidth (last-mile capacity is a
 /// provisioning question, not a routing one — and constraining it would
 /// make most channels inadmissible rather than interestingly constrained).
-pub fn assign_backbone_bandwidths(
-    g: &mut Graph,
-    lo: Bandwidth,
-    hi: Bandwidth,
-    rng: &mut StdRng,
-) {
+pub fn assign_backbone_bandwidths(g: &mut Graph, lo: Bandwidth, hi: Bandwidth, rng: &mut StdRng) {
     assert!(lo >= 1 && lo <= hi, "invalid bandwidth range [{lo}, {hi}]");
     for (a, b, _, _) in g.undirected_links() {
         if !(g.is_router(a) && g.is_router(b)) {

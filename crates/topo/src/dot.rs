@@ -16,7 +16,11 @@ pub fn topology(g: &Graph) -> String {
     for n in g.nodes() {
         let name = node_name(g, n);
         if g.is_router(n) {
-            let style = if g.is_mcast_capable(n) { "solid" } else { "dashed" };
+            let style = if g.is_mcast_capable(n) {
+                "solid"
+            } else {
+                "dashed"
+            };
             let _ = writeln!(out, "  \"{name}\" [shape=box style={style}];");
         } else {
             let _ = writeln!(out, "  \"{name}\" [shape=ellipse];");
@@ -41,8 +45,7 @@ pub fn topology(g: &Graph) -> String {
 /// highlighted, with per-link copy counts where > 1.
 pub fn tree(g: &Graph, links: &[((NodeId, NodeId), u64)]) -> String {
     let mut out = String::from("digraph tree {\n  node [fontsize=10];\n");
-    let used: BTreeSet<NodeId> =
-        links.iter().flat_map(|&((a, b), _)| [a, b]).collect();
+    let used: BTreeSet<NodeId> = links.iter().flat_map(|&((a, b), _)| [a, b]).collect();
     for n in g.nodes() {
         let name = node_name(g, n);
         let shape = if g.is_router(n) { "box" } else { "ellipse" };
@@ -50,15 +53,26 @@ pub fn tree(g: &Graph, links: &[((NodeId, NodeId), u64)]) -> String {
         let _ = writeln!(out, "  \"{name}\" [shape={shape} style={style}];");
     }
     for &((a, b), copies) in links {
-        let label = if copies > 1 { format!(" [label=\"×{copies}\" color=red]") } else { String::new() };
-        let _ = writeln!(out, "  \"{}\" -> \"{}\"{label};", node_name(g, a), node_name(g, b));
+        let label = if copies > 1 {
+            format!(" [label=\"×{copies}\" color=red]")
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\"{label};",
+            node_name(g, a),
+            node_name(g, b)
+        );
     }
     out.push_str("}\n");
     out
 }
 
 fn node_name(g: &Graph, n: NodeId) -> String {
-    g.label(n).map(str::to_owned).unwrap_or_else(|| n.to_string())
+    g.label(n)
+        .map(str::to_owned)
+        .unwrap_or_else(|| n.to_string())
 }
 
 #[cfg(test)]

@@ -65,7 +65,10 @@ impl LinkId {
 
     /// The same physical link traversed in the opposite direction.
     pub fn reversed(self) -> Self {
-        LinkId { from: self.to, to: self.from }
+        LinkId {
+            from: self.to,
+            to: self.from,
+        }
     }
 }
 
@@ -104,6 +107,24 @@ pub struct Node {
 /// Bandwidth of a link direction (abstract units; `u32::MAX` = unlimited).
 pub type Bandwidth = u32;
 
+/// Dense identifier of a *directed* half-link.
+///
+/// Edge ids are assigned contiguously in link-insertion order (each
+/// [`Graph::add_link`] consumes two: `a→b` then `b→a`) and index directly
+/// into per-edge arrays — the simulator's per-packet accounting keys its
+/// counters by `EdgeId` so a packet hop is a single array increment instead
+/// of an ordered-map insertion.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// The index of this edge in the graph's dense edge storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
 /// A directed out-edge in the adjacency list.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct OutEdge {
@@ -115,6 +136,8 @@ pub struct OutEdge {
     /// unlimited and is ignored unless bandwidth-constrained routing is
     /// used).
     pub bandwidth: Bandwidth,
+    /// This edge's slot in the graph's dense edge index.
+    pub eid: EdgeId,
 }
 
 /// The network topology: a set of routers and hosts connected by
@@ -145,6 +168,12 @@ pub struct OutEdge {
 pub struct Graph {
     nodes: Vec<Node>,
     adj: Vec<Vec<OutEdge>>,
+    /// Dense edge index: endpoints of each directed half-link, in
+    /// insertion order. `edge_ends[e]` is the `LinkId` of `EdgeId(e)`.
+    edge_ends: Vec<LinkId>,
+    /// `edge_costs[e]` mirrors the cost stored on the adjacency entry for
+    /// `EdgeId(e)`; kept in sync by [`Graph::set_cost`].
+    edge_costs: Vec<Cost>,
 }
 
 impl Graph {
@@ -162,7 +191,11 @@ impl Graph {
 
     /// Adds a multicast-capable router.
     pub fn add_router(&mut self) -> NodeId {
-        self.add_node(Node { kind: NodeKind::Router, mcast_capable: true, label: None })
+        self.add_node(Node {
+            kind: NodeKind::Router,
+            mcast_capable: true,
+            label: None,
+        })
     }
 
     /// Adds a router with a human-readable label (used by the paper-figure
@@ -181,8 +214,16 @@ impl Graph {
     /// # Panics
     /// Panics if `router` is not a router, or a cost is zero.
     pub fn add_host(&mut self, router: NodeId, cost_to_host: Cost, cost_to_router: Cost) -> NodeId {
-        assert_eq!(self.kind(router), NodeKind::Router, "hosts attach to routers");
-        let host = self.add_node(Node { kind: NodeKind::Host, mcast_capable: false, label: None });
+        assert_eq!(
+            self.kind(router),
+            NodeKind::Router,
+            "hosts attach to routers"
+        );
+        let host = self.add_node(Node {
+            kind: NodeKind::Host,
+            mcast_capable: false,
+            label: None,
+        });
         self.add_link(router, host, cost_to_host, cost_to_router);
         host
     }
@@ -212,11 +253,28 @@ impl Graph {
         assert!(self.cost(a, b).is_none(), "duplicate link {a}-{b}");
         for n in [a, b] {
             if self.kind(n) == NodeKind::Host {
-                assert!(self.adj[n.index()].is_empty(), "host {n} must be single-homed");
+                assert!(
+                    self.adj[n.index()].is_empty(),
+                    "host {n} must be single-homed"
+                );
             }
         }
-        self.adj[a.index()].push(OutEdge { to: b, cost: ab, bandwidth: Bandwidth::MAX });
-        self.adj[b.index()].push(OutEdge { to: a, cost: ba, bandwidth: Bandwidth::MAX });
+        self.push_half(a, b, ab);
+        self.push_half(b, a, ba);
+    }
+
+    /// Appends the directed half-link `from → to`, registering it in the
+    /// dense edge index.
+    fn push_half(&mut self, from: NodeId, to: NodeId, cost: Cost) {
+        let eid = EdgeId(self.edge_ends.len() as u32);
+        self.edge_ends.push(LinkId::new(from, to));
+        self.edge_costs.push(cost);
+        self.adj[from.index()].push(OutEdge {
+            to,
+            cost,
+            bandwidth: Bandwidth::MAX,
+            eid,
+        });
     }
 
     /// Crate-internal escape hatch for scenario builders that need to attach
@@ -228,8 +286,8 @@ impl Graph {
         assert_ne!(a, b, "self-loop {a}");
         assert!(ab >= 1 && ba >= 1, "link costs must be >= 1");
         assert!(self.cost(a, b).is_none(), "duplicate link {a}-{b}");
-        self.adj[a.index()].push(OutEdge { to: b, cost: ab, bandwidth: Bandwidth::MAX });
-        self.adj[b.index()].push(OutEdge { to: a, cost: ba, bandwidth: Bandwidth::MAX });
+        self.push_half(a, b, ab);
+        self.push_half(b, a, ba);
     }
 
     /// Overwrites the cost of the directed half-link `from → to`.
@@ -243,6 +301,7 @@ impl Graph {
             .find(|e| e.to == to)
             .unwrap_or_else(|| panic!("no link {from}->{to}"));
         e.cost = cost;
+        self.edge_costs[e.eid.index()] = cost;
     }
 
     /// Sets the bandwidth of the directed half-link `from → to` (QoS
@@ -261,13 +320,20 @@ impl Graph {
 
     /// Bandwidth of the directed half-link `from → to`, if it exists.
     pub fn bandwidth(&self, from: NodeId, to: NodeId) -> Option<Bandwidth> {
-        self.adj[from.index()].iter().find(|e| e.to == to).map(|e| e.bandwidth)
+        self.adj[from.index()]
+            .iter()
+            .find(|e| e.to == to)
+            .map(|e| e.bandwidth)
     }
 
     /// Marks a router as unicast-only (it forwards data but cannot hold
     /// multicast protocol state, i.e. cannot be a branching node).
     pub fn set_mcast_capable(&mut self, n: NodeId, capable: bool) {
-        assert_eq!(self.kind(n), NodeKind::Router, "capability applies to routers");
+        assert_eq!(
+            self.kind(n),
+            NodeKind::Router,
+            "capability applies to routers"
+        );
         self.nodes[n.index()].mcast_capable = capable;
     }
 
@@ -342,7 +408,50 @@ impl Graph {
 
     /// Cost of the directed half-link `from → to`, if the link exists.
     pub fn cost(&self, from: NodeId, to: NodeId) -> Option<Cost> {
-        self.adj[from.index()].iter().find(|e| e.to == to).map(|e| e.cost)
+        self.adj[from.index()]
+            .iter()
+            .find(|e| e.to == to)
+            .map(|e| e.cost)
+    }
+
+    // --- dense edge index --------------------------------------------------
+
+    /// Number of directed half-links (twice [`Graph::link_count`]).
+    pub fn directed_edge_count(&self) -> usize {
+        self.edge_ends.len()
+    }
+
+    /// Endpoints of each directed half-link, indexed by [`EdgeId`].
+    pub fn edge_ends_all(&self) -> &[LinkId] {
+        &self.edge_ends
+    }
+
+    /// Endpoints of the directed half-link `eid`.
+    pub fn edge_ends(&self, eid: EdgeId) -> LinkId {
+        self.edge_ends[eid.index()]
+    }
+
+    /// Cost of the directed half-link `eid`.
+    pub fn edge_cost(&self, eid: EdgeId) -> Cost {
+        self.edge_costs[eid.index()]
+    }
+
+    /// Edge id and cost of the directed half-link `from → to`, if the link
+    /// exists. One adjacency scan resolves both, which is what the
+    /// simulator's per-packet hot path needs.
+    pub fn edge_entry(&self, from: NodeId, to: NodeId) -> Option<(EdgeId, Cost)> {
+        self.adj[from.index()]
+            .iter()
+            .find(|e| e.to == to)
+            .map(|e| (e.eid, e.cost))
+    }
+
+    /// The largest per-direction link cost in the topology (0 for an empty
+    /// graph). Used to derive convergence/probe horizons from the actual
+    /// cost distribution instead of hard-coding the scenario generator's
+    /// `[1, 10]` draw range.
+    pub fn max_link_cost(&self) -> Cost {
+        self.edge_costs.iter().copied().max().unwrap_or(0)
     }
 
     /// The router a host is attached to.
@@ -517,6 +626,55 @@ mod tests {
         g.add_link(a, c, 1, 1);
         assert_eq!(g.degree(a), 2);
         assert_eq!(g.degree(b), 1);
+    }
+
+    #[test]
+    fn edge_index_tracks_insertion_order() {
+        let mut g = Graph::new();
+        let a = g.add_router();
+        let b = g.add_router();
+        let c = g.add_router();
+        g.add_link(a, b, 3, 7);
+        g.add_link(b, c, 2, 4);
+        assert_eq!(g.directed_edge_count(), 4);
+        assert_eq!(g.edge_ends(EdgeId(0)), LinkId::new(a, b));
+        assert_eq!(g.edge_ends(EdgeId(1)), LinkId::new(b, a));
+        assert_eq!(g.edge_ends(EdgeId(2)), LinkId::new(b, c));
+        assert_eq!(g.edge_ends(EdgeId(3)), LinkId::new(c, b));
+        assert_eq!(g.edge_cost(EdgeId(1)), 7);
+        assert_eq!(g.edge_entry(b, c), Some((EdgeId(2), 2)));
+        assert_eq!(g.edge_entry(a, c), None);
+    }
+
+    #[test]
+    fn edge_index_agrees_with_adjacency() {
+        let mut g = Graph::new();
+        let a = g.add_router();
+        let b = g.add_router();
+        g.add_link(a, b, 3, 7);
+        let h = g.add_host(a, 1, 2);
+        let _ = h;
+        for (l, cost) in g.directed_links() {
+            let (eid, c2) = g.edge_entry(l.from, l.to).expect("edge present");
+            assert_eq!(c2, cost);
+            assert_eq!(g.edge_ends(eid), l);
+            assert_eq!(g.edge_cost(eid), cost);
+        }
+        assert_eq!(g.directed_edge_count(), g.link_count() * 2);
+    }
+
+    #[test]
+    fn set_cost_keeps_edge_index_in_sync() {
+        let (mut g, a, b) = two_routers();
+        let (eid, _) = g.edge_entry(a, b).unwrap();
+        g.set_cost(a, b, 9);
+        assert_eq!(g.edge_cost(eid), 9);
+        assert_eq!(g.max_link_cost(), 9);
+    }
+
+    #[test]
+    fn max_link_cost_of_empty_graph_is_zero() {
+        assert_eq!(Graph::new().max_link_cost(), 0);
     }
 
     #[test]

@@ -35,4 +35,4 @@ pub mod isp;
 pub mod random;
 pub mod scenarios;
 
-pub use graph::{Cost, Graph, LinkId, NodeId, NodeKind};
+pub use graph::{Cost, EdgeId, Graph, LinkId, NodeId, NodeKind};

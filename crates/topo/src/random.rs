@@ -75,8 +75,9 @@ pub fn waxman(n: usize, alpha: f64, beta: f64, rng: &mut StdRng) -> Graph {
     assert!(alpha > 0.0 && beta > 0.0);
     let l = std::f64::consts::SQRT_2;
     for _ in 0..MAX_ATTEMPTS {
-        let pos: Vec<(f64, f64)> =
-            (0..n).map(|_| (rng.random::<f64>(), rng.random::<f64>())).collect();
+        let pos: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.random::<f64>(), rng.random::<f64>()))
+            .collect();
         let mut g = Graph::new();
         let routers: Vec<NodeId> = (0..n).map(|_| g.add_router()).collect();
         for i in 0..n {
@@ -145,7 +146,10 @@ mod tests {
             total += deg_sum as f64 / 50.0;
         }
         let avg = total / samples as f64;
-        assert!((avg - 8.6).abs() < 0.6, "mean backbone degree {avg}, want ≈ 8.6");
+        assert!(
+            (avg - 8.6).abs() < 0.6,
+            "mean backbone degree {avg}, want ≈ 8.6"
+        );
     }
 
     #[test]

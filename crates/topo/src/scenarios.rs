@@ -40,7 +40,9 @@ const BLOCK: u32 = 10;
 pub fn fig1() -> Graph {
     let mut g = Graph::new();
     let s = g.add_router_labeled("S");
-    let h: Vec<_> = (1..=7).map(|i| g.add_router_labeled(&format!("H{i}"))).collect();
+    let h: Vec<_> = (1..=7)
+        .map(|i| g.add_router_labeled(&format!("H{i}")))
+        .collect();
     let link = |g: &mut Graph, a, b| g.add_link(a, b, 1, 1);
     link(&mut g, s, h[0]); // S  - H1
     link(&mut g, h[0], h[1]); // H1 - H2
@@ -49,7 +51,14 @@ pub fn fig1() -> Graph {
     link(&mut g, h[2], h[4]); // H3 - H5
     link(&mut g, h[3], h[5]); // H4 - H6
     link(&mut g, h[4], h[6]); // H5 - H7
-    for (i, attach) in [(1, h[5]), (2, h[5]), (3, h[5]), (4, h[6]), (5, h[6]), (6, h[6])] {
+    for (i, attach) in [
+        (1, h[5]),
+        (2, h[5]),
+        (3, h[5]),
+        (4, h[6]),
+        (5, h[6]),
+        (6, h[6]),
+    ] {
         g.add_host_labeled(attach, 1, 1, &format!("r{i}"));
     }
     g.add_host_labeled(h[3], 1, 1, "r7");
@@ -83,7 +92,7 @@ pub fn fig2() -> Graph {
     g.add_link(s, r4, 1, BLOCK); // S→R4 = 1 (down to r2); R4→S blocked
     g.add_link(r1, r2, BLOCK, 1); // R1→R2 blocked; R2→R1 = 1 (r1's up path)
     g.add_link(r1, r3, 1, 1); //  R1→R3 = 1 (down); R3→R1 = 1 (r2/r3 up)
-    // Receivers.
+                              // Receivers.
     let rx1 = g.add_host_labeled(r2, BLOCK, 1, "r1"); // r1→R2 = 1; R2→r1 blocked
     g.add_link_host_side(rx1, r3, 1, BLOCK); // R3→r1 = 1 (down); r1→R3 blocked
     let _rx2 = {
@@ -109,7 +118,9 @@ pub fn fig2() -> Graph {
 pub fn fig3() -> Graph {
     let mut g = Graph::new();
     let s = g.add_router_labeled("S");
-    let r: Vec<_> = (1..=6).map(|i| g.add_router_labeled(&format!("R{i}"))).collect();
+    let r: Vec<_> = (1..=6)
+        .map(|i| g.add_router_labeled(&format!("R{i}")))
+        .collect();
     let (r1, r2, r3, r4, r5, r6) = (r[0], r[1], r[2], r[3], r[4], r[5]);
     g.add_link(s, r1, 1, 1);
     g.add_link(r1, r2, BLOCK, 1); // up leg of r1's join
@@ -133,7 +144,13 @@ impl Graph {
     /// This deliberately bypasses the single-homing invariant — the paper's
     /// figures do attach these receivers to two routers — and is only
     /// available inside this crate's scenario builders.
-    fn add_link_host_side(&mut self, host: crate::graph::NodeId, router: crate::graph::NodeId, down: u32, up: u32) {
+    fn add_link_host_side(
+        &mut self,
+        host: crate::graph::NodeId,
+        router: crate::graph::NodeId,
+        down: u32,
+        up: u32,
+    ) {
         // Host already has its first link; push the raw half-links directly.
         self.push_raw_link(router, host, down, up);
     }

@@ -94,7 +94,11 @@ fn encode_body(msg: &WireMsg) -> (MsgType, u8, Vec<u8>) {
             HbhMsg::Join { ch, who, initial } => {
                 w.channel(*ch);
                 w.node(*who);
-                (MsgType::HbhJoin, if *initial { flags::INITIAL } else { 0 }, w.into_bytes())
+                (
+                    MsgType::HbhJoin,
+                    if *initial { flags::INITIAL } else { 0 },
+                    w.into_bytes(),
+                )
             }
             HbhMsg::Tree { ch, target } => {
                 w.channel(*ch);
@@ -116,7 +120,11 @@ fn encode_body(msg: &WireMsg) -> (MsgType, u8, Vec<u8>) {
             }
         },
         WireMsg::Reunite(m) => match m {
-            ReuniteMsg::Join { ch, receiver, fresh } => {
+            ReuniteMsg::Join {
+                ch,
+                receiver,
+                fresh,
+            } => {
                 w.channel(*ch);
                 w.node(*receiver);
                 (
@@ -125,7 +133,11 @@ fn encode_body(msg: &WireMsg) -> (MsgType, u8, Vec<u8>) {
                     w.into_bytes(),
                 )
             }
-            ReuniteMsg::Tree { ch, receiver, marked } => {
+            ReuniteMsg::Tree {
+                ch,
+                receiver,
+                marked,
+            } => {
                 w.channel(*ch);
                 w.node(*receiver);
                 (
@@ -209,7 +221,11 @@ fn decode_typed(ty: MsgType, flag_bits: u8, r: &mut Reader<'_>) -> Result<WireMs
             flag_ok(flags::INITIAL)?;
             let ch = r.channel()?;
             let who = r.node()?;
-            WireMsg::Hbh(HbhMsg::Join { ch, who, initial: flag_bits & flags::INITIAL != 0 })
+            WireMsg::Hbh(HbhMsg::Join {
+                ch,
+                who,
+                initial: flag_bits & flags::INITIAL != 0,
+            })
         }
         MsgType::HbhTree => {
             flag_ok(0)?;
@@ -302,21 +318,51 @@ mod tests {
 
     fn samples() -> Vec<WireMsg> {
         vec![
-            WireMsg::Hbh(HbhMsg::Join { ch: ch(), who: NodeId(3), initial: true }),
-            WireMsg::Hbh(HbhMsg::Join { ch: ch(), who: NodeId(3), initial: false }),
-            WireMsg::Hbh(HbhMsg::Tree { ch: ch(), target: NodeId(9) }),
+            WireMsg::Hbh(HbhMsg::Join {
+                ch: ch(),
+                who: NodeId(3),
+                initial: true,
+            }),
+            WireMsg::Hbh(HbhMsg::Join {
+                ch: ch(),
+                who: NodeId(3),
+                initial: false,
+            }),
+            WireMsg::Hbh(HbhMsg::Tree {
+                ch: ch(),
+                target: NodeId(9),
+            }),
             WireMsg::Hbh(HbhMsg::Fusion {
                 ch: ch(),
                 from: NodeId(5),
                 nodes: vec![NodeId(1), NodeId(2), NodeId(3)],
             }),
-            WireMsg::Hbh(HbhMsg::Fusion { ch: ch(), from: NodeId(5), nodes: vec![] }),
+            WireMsg::Hbh(HbhMsg::Fusion {
+                ch: ch(),
+                from: NodeId(5),
+                nodes: vec![],
+            }),
             WireMsg::Hbh(HbhMsg::Data { ch: ch() }),
-            WireMsg::Reunite(ReuniteMsg::Join { ch: ch(), receiver: NodeId(4), fresh: true }),
-            WireMsg::Reunite(ReuniteMsg::Tree { ch: ch(), receiver: NodeId(4), marked: true }),
-            WireMsg::Reunite(ReuniteMsg::Tree { ch: ch(), receiver: NodeId(4), marked: false }),
+            WireMsg::Reunite(ReuniteMsg::Join {
+                ch: ch(),
+                receiver: NodeId(4),
+                fresh: true,
+            }),
+            WireMsg::Reunite(ReuniteMsg::Tree {
+                ch: ch(),
+                receiver: NodeId(4),
+                marked: true,
+            }),
+            WireMsg::Reunite(ReuniteMsg::Tree {
+                ch: ch(),
+                receiver: NodeId(4),
+                marked: false,
+            }),
             WireMsg::Reunite(ReuniteMsg::Data { ch: ch() }),
-            WireMsg::Pim(PimMsg::Join { ch: ch(), downstream: NodeId(2) }),
+            WireMsg::Pim(PimMsg::Join {
+                ch: ch(),
+                downstream: NodeId(2),
+            }),
             WireMsg::Pim(PimMsg::Data { ch: ch() }),
         ]
     }
@@ -373,7 +419,10 @@ mod tests {
     #[test]
     fn flag_on_wrong_message_rejected() {
         // A tree message with the INITIAL bit set is malformed.
-        let mut bytes = encode(&WireMsg::Hbh(HbhMsg::Tree { ch: ch(), target: NodeId(1) }));
+        let mut bytes = encode(&WireMsg::Hbh(HbhMsg::Tree {
+            ch: ch(),
+            target: NodeId(1),
+        }));
         bytes[3] = flags::INITIAL;
         assert!(matches!(decode(&bytes), Err(WireError::BadFlags(_))));
     }
@@ -404,7 +453,10 @@ mod tests {
     fn message_sizes_are_sane() {
         // join/tree/data: 8 header + 8 channel + 4 node (+0) = 20 bytes.
         assert_eq!(
-            encoded_len(&WireMsg::Hbh(HbhMsg::Tree { ch: ch(), target: NodeId(1) })),
+            encoded_len(&WireMsg::Hbh(HbhMsg::Tree {
+                ch: ch(),
+                target: NodeId(1)
+            })),
             20
         );
         // data: 8 + 8 = 16 bytes.

@@ -10,8 +10,7 @@ use hbh_topo::graph::NodeId;
 use proptest::prelude::*;
 
 fn arb_channel() -> impl Strategy<Value = Channel> {
-    (any::<u32>(), any::<u32>())
-        .prop_map(|(s, g)| Channel::new(NodeId(s), GroupAddr(g)))
+    (any::<u32>(), any::<u32>()).prop_map(|(s, g)| Channel::new(NodeId(s), GroupAddr(g)))
 }
 
 fn arb_msg() -> impl Strategy<Value = WireMsg> {
@@ -29,10 +28,18 @@ fn arb_msg() -> impl Strategy<Value = WireMsg> {
             .prop_map(|(ch, from, nodes)| WireMsg::Hbh(HbhMsg::Fusion { ch, from, nodes })),
         arb_channel().prop_map(|ch| WireMsg::Hbh(HbhMsg::Data { ch })),
         (arb_channel(), node.clone(), any::<bool>()).prop_map(|(ch, receiver, fresh)| {
-            WireMsg::Reunite(ReuniteMsg::Join { ch, receiver, fresh })
+            WireMsg::Reunite(ReuniteMsg::Join {
+                ch,
+                receiver,
+                fresh,
+            })
         }),
         (arb_channel(), node.clone(), any::<bool>()).prop_map(|(ch, receiver, marked)| {
-            WireMsg::Reunite(ReuniteMsg::Tree { ch, receiver, marked })
+            WireMsg::Reunite(ReuniteMsg::Tree {
+                ch,
+                receiver,
+                marked,
+            })
         }),
         arb_channel().prop_map(|ch| WireMsg::Reunite(ReuniteMsg::Data { ch })),
         (arb_channel(), node)

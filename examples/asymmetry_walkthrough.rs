@@ -17,7 +17,9 @@ fn n(g: &Graph, label: &str) -> NodeId {
 }
 
 fn label(g: &Graph, node: NodeId) -> String {
-    g.label(node).map(str::to_owned).unwrap_or_else(|| node.to_string())
+    g.label(node)
+        .map(str::to_owned)
+        .unwrap_or_else(|| node.to_string())
 }
 
 fn probe<P: Protocol<Command = Cmd>>(
@@ -56,7 +58,11 @@ fn report<P: Protocol<Command = Cmd>>(name: &str, k: &Kernel<P>, rows: &[(String
     for (r, delay, spt) in rows {
         println!(
             "    {r}: delay {delay:>2} (shortest possible {spt}) {}",
-            if delay == spt { "✓ SPT" } else { "✗ detoured" }
+            if delay == spt {
+                "✓ SPT"
+            } else {
+                "✗ detoured"
+            }
         );
     }
     println!("    tree cost: {} copies", k.stats().data_copies_tagged(1));
@@ -66,7 +72,12 @@ fn report<P: Protocol<Command = Cmd>>(name: &str, k: &Kernel<P>, rows: &[(String
         .iter()
         .filter(|(_, &c)| c > 1)
         .map(|(&(f, t), &c)| {
-            format!("{}→{} ×{}", label(k.network().graph(), f), label(k.network().graph(), t), c)
+            format!(
+                "{}→{} ×{}",
+                label(k.network().graph(), f),
+                label(k.network().graph(), t),
+                c
+            )
         })
         .collect();
     if dups.is_empty() {
@@ -84,9 +95,17 @@ fn main() {
     println!("                  S→r2 via R4     but r2→S via R3,R1.\n");
     let joins = [("r1", 0), ("r2", 400), ("r3", 800)];
     let (kr, rows) = probe(Reunite::new(timing), scenarios::fig2(), &joins);
-    report("REUNITE (pins r2 to the tree-message path — Figure 2)", &kr, &rows);
+    report(
+        "REUNITE (pins r2 to the tree-message path — Figure 2)",
+        &kr,
+        &rows,
+    );
     let (kh, rows) = probe(Hbh::new(timing), scenarios::fig2(), &joins);
-    report("HBH (fusion re-homes everyone onto the SPT — Figure 5)", &kh, &rows);
+    report(
+        "HBH (fusion re-homes everyone onto the SPT — Figure 5)",
+        &kh,
+        &rows,
+    );
 
     println!("\n=== Figure 3: shared downstream link R1→R6, joins bypass R6 ===\n");
     let joins = [("r1", 0), ("r2", 400)];
@@ -105,8 +124,16 @@ fn main() {
             println!(
                 "    {} — {}{}",
                 label(g, node),
-                if mft.is_marked(node, now) { "marked (tree only)" } else { "data" },
-                if mft.is_stale(node, now) { ", stale (fusion-installed)" } else { "" }
+                if mft.is_marked(node, now) {
+                    "marked (tree only)"
+                } else {
+                    "data"
+                },
+                if mft.is_stale(node, now) {
+                    ", stale (fusion-installed)"
+                } else {
+                    ""
+                }
             );
         }
     }

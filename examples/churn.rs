@@ -26,7 +26,10 @@ fn run<P: Protocol<Command = Cmd>>(name: &str, proto: P, seed: u64) {
 
     let horizon = 6000;
     let events = churn_schedule(&pool, 100.0, Time(0), horizon, &mut rng);
-    let joins = events.iter().filter(|(_, e)| matches!(e, ChurnEvent::Join(_))).count();
+    let joins = events
+        .iter()
+        .filter(|(_, e)| matches!(e, ChurnEvent::Join(_)))
+        .count();
     let leaves = events.len() - joins;
 
     let mut k = Kernel::new(Network::new(g), proto, seed);
@@ -46,7 +49,9 @@ fn run<P: Protocol<Command = Cmd>>(name: &str, proto: P, seed: u64) {
     }
     k.run_until(Time(horizon));
     let churn_during = k.stats().structural_changes;
-    k.run_until(Time(horizon + timing.convergence_horizon(0) + 4 * timing.t2));
+    k.run_until(Time(
+        horizon + timing.convergence_horizon(0) + 4 * timing.t2,
+    ));
 
     let t = k.now();
     k.command_at(source, Cmd::SendData { ch, tag: 1 }, t);
@@ -68,6 +73,8 @@ fn main() {
         run("REUNITE", Reunite::new(Timing::default()), seed);
         println!();
     }
-    println!("(table changes = structural MCT/MFT mutations across all routers — \n\
-              the stability metric of the `stability` experiment binary)");
+    println!(
+        "(table changes = structural MCT/MFT mutations across all routers — \n\
+              the stability metric of the `stability` experiment binary)"
+    );
 }

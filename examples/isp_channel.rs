@@ -18,7 +18,13 @@ fn main() {
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(7);
 
     let timing = Timing::default();
-    let sc = build(TopologyKind::Isp, group, seed, &timing, &ScenarioOptions::default());
+    let sc = build(
+        TopologyKind::Isp,
+        group,
+        seed,
+        &timing,
+        &ScenarioOptions::default(),
+    );
     println!(
         "ISP topology (Figure 6 reconstruction): source {} on router 0, {} receivers, seed {seed}",
         sc.source, group

@@ -25,7 +25,11 @@ fn main() {
     let mut addrs: Vec<_> = cluster.addresses.iter().collect();
     addrs.sort_by_key(|(n, _)| **n);
     for (node, addr) in addrs {
-        println!("  {:>3} ({})  {addr}", node.to_string(), labels.label(*node).unwrap_or("-"));
+        println!(
+            "  {:>3} ({})  {addr}",
+            node.to_string(),
+            labels.label(*node).unwrap_or("-")
+        );
     }
 
     let ch = Channel::primary(s);

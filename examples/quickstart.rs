@@ -49,7 +49,14 @@ fn main() {
     kernel.run_until(Time(timing.convergence_horizon(250)));
     let _ = kernel.take_trace(); // drop the (long) control-plane trace
     let now = kernel.now();
-    kernel.command_at(s, Cmd::SendData { ch: channel, tag: 1 }, now);
+    kernel.command_at(
+        s,
+        Cmd::SendData {
+            ch: channel,
+            tag: 1,
+        },
+        now,
+    );
     kernel.run_until(now + 100);
 
     // 5. Inspect what happened on the data plane.
@@ -57,7 +64,10 @@ fn main() {
     for rec in kernel.take_trace() {
         match &rec.what {
             TraceKind::Sent { to, pkt } if pkt.class == PacketClass::Data => {
-                println!("  t={:<4} {}  --->  {} (unicast dst {})", rec.at, rec.node, to, pkt.dst);
+                println!(
+                    "  t={:<4} {}  --->  {} (unicast dst {})",
+                    rec.at, rec.node, to, pkt.dst
+                );
             }
             TraceKind::Delivered { .. } => {
                 println!("  t={:<4} {}  DELIVERED", rec.at, rec.node);
@@ -74,7 +84,11 @@ fn main() {
             dl.node,
             dl.delay(),
             spt,
-            if u64::from(dl.delay()) == spt { "= SPT ✓" } else { "≠ SPT ✗" }
+            if dl.delay() == spt {
+                "= SPT ✓"
+            } else {
+                "≠ SPT ✗"
+            }
         );
     }
     println!(

@@ -16,7 +16,10 @@ use hbh_topo::{dot, scenarios};
 fn probe_tree<P: Protocol<Command = Cmd>>(proto: P) -> DataTransits {
     let g = scenarios::fig3();
     let s = g.node_by_label("S").unwrap();
-    let (r1, r2) = (g.node_by_label("r1").unwrap(), g.node_by_label("r2").unwrap());
+    let (r1, r2) = (
+        g.node_by_label("r1").unwrap(),
+        g.node_by_label("r2").unwrap(),
+    );
     let timing = Timing::default();
     let ch = Channel::primary(s);
     let mut k = Kernel::new(Network::new(g), proto, 1);
@@ -41,7 +44,10 @@ fn main() {
         ("HBH", probe_tree(Hbh::new(Timing::default()))),
     ] {
         let links: Vec<_> = transits.links.iter().map(|(&l, &c)| (l, c)).collect();
-        println!("// --- {name} data tree ({} copies) ---", transits.total_copies());
+        println!(
+            "// --- {name} data tree ({} copies) ---",
+            transits.total_copies()
+        );
         println!("{}", dot::tree(&g, &links));
     }
 }

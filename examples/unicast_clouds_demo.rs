@@ -30,7 +30,10 @@ fn main() {
             disabled.push(r);
         }
     }
-    println!("unicast-only routers ({} of 18): {disabled:?}\n", disabled.len());
+    println!(
+        "unicast-only routers ({} of 18): {disabled:?}\n",
+        disabled.len()
+    );
 
     let timing = Timing::default();
     let source = isp::SOURCE_HOST;

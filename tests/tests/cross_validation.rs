@@ -11,7 +11,10 @@ use hbh_routing::RoutingTables;
 
 fn scenario(topo: TopologyKind, m: usize, seed: u64) -> (Scenario, Timing) {
     let timing = Timing::default();
-    (build(topo, m, seed, &timing, &ScenarioOptions::default()), timing)
+    (
+        build(topo, m, seed, &timing, &ScenarioOptions::default()),
+        timing,
+    )
 }
 
 #[test]
@@ -20,7 +23,7 @@ fn pim_ss_realizes_the_analytic_reverse_spt() {
         for seed in [21, 22] {
             let (sc, timing) = scenario(topo, m, seed);
             let o = run_protocol(ProtocolKind::PimSs, &sc, &timing);
-            let tables = RoutingTables::compute(&sc.graph);
+            let tables = RoutingTables::compute(sc.graph());
             let tree = reverse_spt(&tables, sc.source, &sc.receivers);
             assert_eq!(
                 o.cost as usize,
@@ -28,7 +31,11 @@ fn pim_ss_realizes_the_analytic_reverse_spt() {
                 "{topo:?} seed {seed}: engine cost vs analytic link count"
             );
             for (&r, &d) in &o.delays {
-                assert_eq!(Some(d), tree.delay_to(&sc.graph, r), "{topo:?} receiver {r}");
+                assert_eq!(
+                    Some(d),
+                    tree.delay_to(sc.graph(), r),
+                    "{topo:?} receiver {r}"
+                );
             }
         }
     }
@@ -40,7 +47,7 @@ fn hbh_realizes_the_forward_spt_delays() {
         for seed in [31, 32] {
             let (sc, timing) = scenario(topo, m, seed);
             let o = run_protocol(ProtocolKind::Hbh, &sc, &timing);
-            let tables = RoutingTables::compute(&sc.graph);
+            let tables = RoutingTables::compute(sc.graph());
             assert!(o.complete(), "{topo:?} seed {seed}");
             for (&r, &d) in &o.delays {
                 assert_eq!(
@@ -61,7 +68,7 @@ fn hbh_cost_is_bracketed_by_spt_and_unicast_star() {
     for seed in [41, 42, 43] {
         let (sc, timing) = scenario(TopologyKind::Isp, 10, seed);
         let o = run_protocol(ProtocolKind::Hbh, &sc, &timing);
-        let tables = RoutingTables::compute(&sc.graph);
+        let tables = RoutingTables::compute(sc.graph());
         let spt = forward_spt(&tables, sc.source, &sc.receivers);
         let star: usize = sc
             .receivers
@@ -93,13 +100,16 @@ fn hbh_cost_is_usually_exactly_the_spt() {
     for seed in 0..total {
         let (sc, timing) = scenario(TopologyKind::Isp, 8, 100 + seed);
         let o = run_protocol(ProtocolKind::Hbh, &sc, &timing);
-        let tables = RoutingTables::compute(&sc.graph);
+        let tables = RoutingTables::compute(sc.graph());
         let spt = forward_spt(&tables, sc.source, &sc.receivers);
         if o.cost as usize == spt.cost() {
             exact += 1;
         }
     }
-    assert!(exact >= 8, "only {exact}/{total} runs realized the exact SPT");
+    assert!(
+        exact >= 8,
+        "only {exact}/{total} runs realized the exact SPT"
+    );
 }
 
 #[test]
@@ -108,19 +118,23 @@ fn pim_sm_delay_decomposes_through_the_rp() {
         let (sc, timing) = scenario(TopologyKind::Isp, 8, seed);
         let rp = pick_rp(&sc);
         let o = run_protocol(ProtocolKind::PimSm, &sc, &timing);
-        let tables = RoutingTables::compute(&sc.graph);
+        let tables = RoutingTables::compute(sc.graph());
         let shared = reverse_spt(&tables, rp, &sc.receivers);
         let register = tables.dist(sc.source, rp).unwrap();
         for (&r, &d) in &o.delays {
             assert_eq!(
                 d,
-                register + shared.delay_to(&sc.graph, r).unwrap(),
+                register + shared.delay_to(sc.graph(), r).unwrap(),
                 "seed {seed}: receiver {r}: delay ≠ d(S,RP) + shared-tree delay"
             );
         }
         // Cost: register path hops + shared tree links.
         let register_hops = tables.path(sc.source, rp).unwrap().len() - 1;
-        assert_eq!(o.cost as usize, register_hops + shared.cost(), "seed {seed}");
+        assert_eq!(
+            o.cost as usize,
+            register_hops + shared.cost(),
+            "seed {seed}"
+        );
     }
 }
 

@@ -59,10 +59,13 @@ fn churn_run<P: Protocol<Command = Cmd>>(
     let t = k.now();
     k.command_at(source, Cmd::SendData { ch, tag: 1 }, t);
     k.run_until(t + 2000);
-    let served: HashSet<NodeId> =
-        k.stats().deliveries_tagged(1).map(|d| d.node).collect();
+    let served: HashSet<NodeId> = k.stats().deliveries_tagged(1).map(|d| d.node).collect();
     let delivery_count = k.stats().deliveries_tagged(1).count();
-    assert_eq!(delivery_count, served.len(), "duplicate delivery under churn");
+    assert_eq!(
+        delivery_count,
+        served.len(),
+        "duplicate delivery under churn"
+    );
     (members, served, k.stats().drops)
 }
 
@@ -109,7 +112,7 @@ fn hbh_post_churn_paths_are_still_shortest() {
     k.run_until(t + 2000);
     for d in k.stats().deliveries_tagged(2) {
         assert_eq!(
-            Some(u64::from(d.delay())),
+            Some(d.delay()),
             tables.dist(source, d.node),
             "receiver {} off SPT after churn",
             d.node

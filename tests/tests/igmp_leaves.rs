@@ -45,13 +45,15 @@ fn co_located_receivers_share_the_backbone_tree() {
     let per_link = k.stats().data_copies_per_link(1);
     let backbone: u64 = per_link
         .iter()
-        .filter(|(&(f, t), _)| {
-            k.network().graph().is_router(f) && k.network().graph().is_router(t)
-        })
+        .filter(|(&(f, t), _)| k.network().graph().is_router(f) && k.network().graph().is_router(t))
         .map(|(_, &c)| c)
         .sum();
     assert_eq!(backbone, 2, "a→b and b→c exactly once each");
-    assert_eq!(k.stats().data_copies_tagged(1), 2 + 1 + 4, "backbone + s-access + 4 access links");
+    assert_eq!(
+        k.stats().data_copies_tagged(1),
+        2 + 1 + 4,
+        "backbone + s-access + 4 access links"
+    );
 }
 
 #[test]

@@ -63,36 +63,36 @@ fn probe_under_control_loss<P: Protocol<Command = Cmd>>(
 #[test]
 fn hbh_survives_twenty_percent_control_loss() {
     for seed in [1, 2, 3] {
-        let (served, _, expected) = probe_under_control_loss(
-            Hbh::new(Timing::default()),
-            0.20,
-            seed,
+        let (served, _, expected) =
+            probe_under_control_loss(Hbh::new(Timing::default()), 0.20, seed);
+        assert_eq!(
+            served, expected,
+            "seed {seed}: receivers starved under loss"
         );
-        assert_eq!(served, expected, "seed {seed}: receivers starved under loss");
     }
 }
 
 #[test]
 fn reunite_survives_twenty_percent_control_loss() {
     for seed in [1, 2, 3] {
-        let (served, _, expected) = probe_under_control_loss(
-            Reunite::new(Timing::default()),
-            0.20,
-            seed,
+        let (served, _, expected) =
+            probe_under_control_loss(Reunite::new(Timing::default()), 0.20, seed);
+        assert_eq!(
+            served, expected,
+            "seed {seed}: receivers starved under loss"
         );
-        assert_eq!(served, expected, "seed {seed}: receivers starved under loss");
     }
 }
 
 #[test]
 fn pim_ss_survives_twenty_percent_control_loss() {
     for seed in [1, 2, 3] {
-        let (served, _, expected) = probe_under_control_loss(
-            hbh_pim::Pim::source_specific(Timing::default()),
-            0.20,
-            seed,
+        let (served, _, expected) =
+            probe_under_control_loss(hbh_pim::Pim::source_specific(Timing::default()), 0.20, seed);
+        assert_eq!(
+            served, expected,
+            "seed {seed}: receivers starved under loss"
         );
-        assert_eq!(served, expected, "seed {seed}: receivers starved under loss");
     }
 }
 
@@ -101,13 +101,11 @@ fn hbh_paths_remain_shortest_after_lossy_convergence() {
     let s = setup(9);
     let timing = Timing::default();
     let ch = Channel::primary(s.source);
-    let tables = RoutingTables::compute(
-        &{
-            let mut g = isp::isp_topology();
-            costs::assign_paper_costs(&mut g, &mut StdRng::seed_from_u64(9));
-            g
-        },
-    );
+    let tables = RoutingTables::compute(&{
+        let mut g = isp::isp_topology();
+        costs::assign_paper_costs(&mut g, &mut StdRng::seed_from_u64(9));
+        g
+    });
     let mut k = Kernel::new(s.net, Hbh::new(timing), 9);
     k.set_loss(LossModel::control_only(0.15));
     k.command_at(s.source, Cmd::StartSource(ch), Time::ZERO);
@@ -123,7 +121,7 @@ fn hbh_paths_remain_shortest_after_lossy_convergence() {
     k.run_until(t + 2000);
     for d in k.stats().deliveries_tagged(2) {
         assert_eq!(
-            Some(u64::from(d.delay())),
+            Some(d.delay()),
             tables.dist(s.source, d.node),
             "receiver {} ended off-SPT after lossy convergence",
             d.node
@@ -142,10 +140,16 @@ fn data_loss_is_injected_and_counted() {
     k.command_at(s.source, Cmd::StartSource(ch), Time::ZERO);
     k.command_at(s.receivers[0], Cmd::Join(ch), Time(0));
     k.run_until(Time(timing.convergence_horizon(100)));
-    k.set_loss(LossModel { control: 0.0, data: 1.0 });
+    k.set_loss(LossModel {
+        control: 0.0,
+        data: 1.0,
+    });
     let t = k.now();
     k.command_at(s.source, Cmd::SendData { ch, tag: 3 }, t);
     k.run_until(t + 1000);
     assert_eq!(k.stats().deliveries_tagged(3).count(), 0);
-    assert!(k.stats().data_copies_tagged(3) > 0, "the first hop was transmitted");
+    assert!(
+        k.stats().data_copies_tagged(3) > 0,
+        "the first hop was transmitted"
+    );
 }

@@ -50,8 +50,16 @@ fn two_sources_two_channels_are_isolated() {
     let served2: HashSet<NodeId> = k.stats().deliveries_tagged(2).map(|d| d.node).collect();
     assert_eq!(served1, g1.iter().copied().collect());
     assert_eq!(served2, g2.iter().copied().collect());
-    assert_eq!(k.stats().deliveries_tagged(1).count(), 3, "no duplicates on ch1");
-    assert_eq!(k.stats().deliveries_tagged(2).count(), 3, "no duplicates on ch2");
+    assert_eq!(
+        k.stats().deliveries_tagged(1).count(),
+        3,
+        "no duplicates on ch1"
+    );
+    assert_eq!(
+        k.stats().deliveries_tagged(2).count(),
+        3,
+        "no duplicates on ch2"
+    );
 }
 
 #[test]

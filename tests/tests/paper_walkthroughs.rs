@@ -26,11 +26,7 @@ fn settle_time() -> u64 {
 
 /// Drives joins at the given (label, time) schedule, converges, probes,
 /// and returns per-receiver delays plus per-link copy counts.
-fn run<P>(
-    proto: P,
-    g: Graph,
-    joins: &[(&str, u64)],
-) -> (Kernel<P>, Channel, Vec<(NodeId, u64)>)
+fn run<P>(proto: P, g: Graph, joins: &[(&str, u64)]) -> (Kernel<P>, Channel, Vec<(NodeId, u64)>)
 where
     P: Protocol<Command = Cmd>,
 {
@@ -46,8 +42,11 @@ where
     let t = k.now();
     k.command_at(source, Cmd::SendData { ch, tag: 1 }, t);
     k.run_until(t + 500);
-    let mut delays: Vec<(NodeId, u64)> =
-        k.stats().deliveries_tagged(1).map(|d| (d.node, d.delay())).collect();
+    let mut delays: Vec<(NodeId, u64)> = k
+        .stats()
+        .deliveries_tagged(1)
+        .map(|d| (d.node, d.delay()))
+        .collect();
     delays.sort();
     (k, ch, delays)
 }
@@ -57,24 +56,28 @@ where
 #[test]
 fn fig1_reunite_delivers_to_all_eight_receivers_once() {
     let g = scenarios::fig1();
-    let joins: Vec<(String, u64)> =
-        (1..=8).map(|i| (format!("r{i}"), i as u64 * 150)).collect();
-    let joins_ref: Vec<(&str, u64)> =
-        joins.iter().map(|(s, t)| (s.as_str(), *t)).collect();
+    let joins: Vec<(String, u64)> = (1..=8).map(|i| (format!("r{i}"), i as u64 * 150)).collect();
+    let joins_ref: Vec<(&str, u64)> = joins.iter().map(|(s, t)| (s.as_str(), *t)).collect();
     let (k, _, delays) = run(Reunite::new(Timing::default()), g, &joins_ref);
     assert_eq!(delays.len(), 8);
-    assert_eq!(k.stats().data_copies_tagged(1), 15, "one copy per tree link");
+    assert_eq!(
+        k.stats().data_copies_tagged(1),
+        15,
+        "one copy per tree link"
+    );
 }
 
 #[test]
 fn fig1_hbh_matches_reunite_on_symmetric_tree() {
     // On a tree topology with symmetric costs the two protocols must
     // produce identical cost and delays (there is only one possible tree).
-    let joins: Vec<(String, u64)> =
-        (1..=8).map(|i| (format!("r{i}"), i as u64 * 150)).collect();
-    let joins_ref: Vec<(&str, u64)> =
-        joins.iter().map(|(s, t)| (s.as_str(), *t)).collect();
-    let (kr, _, dr) = run(Reunite::new(Timing::default()), scenarios::fig1(), &joins_ref);
+    let joins: Vec<(String, u64)> = (1..=8).map(|i| (format!("r{i}"), i as u64 * 150)).collect();
+    let joins_ref: Vec<(&str, u64)> = joins.iter().map(|(s, t)| (s.as_str(), *t)).collect();
+    let (kr, _, dr) = run(
+        Reunite::new(Timing::default()),
+        scenarios::fig1(),
+        &joins_ref,
+    );
     let (kh, _, dh) = run(Hbh::new(Timing::default()), scenarios::fig1(), &joins_ref);
     assert_eq!(dr, dh, "identical delays on the unique tree");
     assert_eq!(
@@ -87,16 +90,17 @@ fn fig1_hbh_matches_reunite_on_symmetric_tree() {
 #[test]
 fn fig1_branching_nodes_hold_forwarding_state_leaves_none() {
     let g = scenarios::fig1();
-    let joins: Vec<(String, u64)> =
-        (1..=8).map(|i| (format!("r{i}"), i as u64 * 150)).collect();
-    let joins_ref: Vec<(&str, u64)> =
-        joins.iter().map(|(s, t)| (s.as_str(), *t)).collect();
+    let joins: Vec<(String, u64)> = (1..=8).map(|i| (format!("r{i}"), i as u64 * 150)).collect();
+    let joins_ref: Vec<(&str, u64)> = joins.iter().map(|(s, t)| (s.as_str(), *t)).collect();
     let (k, ch, _) = run(Hbh::new(Timing::default()), g, &joins_ref);
     let g = k.network().graph();
     // H6 and H7 fan out to three receivers each: they must be branching.
     for label in ["H6", "H7"] {
         let node = n(g, label);
-        assert!(k.state(node).is_branching(ch), "{label} should be branching");
+        assert!(
+            k.state(node).is_branching(ch),
+            "{label} should be branching"
+        );
         assert_eq!(
             k.state(node).mft(ch).unwrap().data_targets(k.now()).count(),
             3,
@@ -112,8 +116,11 @@ fn fig2_reunite_pins_r2_to_the_tree_message_path() {
     // r1 joins first (at S), r2's join is captured at R3 → data for r2
     // follows S→R1→R3→r2 (delay 1+1+3 = 5) instead of the shortest path
     // S→R4→r2 (delay 2).
-    let (_, _, delays) =
-        run(Reunite::new(Timing::default()), scenarios::fig2(), &[("r1", 0), ("r2", 400)]);
+    let (_, _, delays) = run(
+        Reunite::new(Timing::default()),
+        scenarios::fig2(),
+        &[("r1", 0), ("r2", 400)],
+    );
     let g = scenarios::fig2();
     let (r1, r2) = (n(&g, "r1"), n(&g, "r2"));
     let find = |x: NodeId, d: &[(NodeId, u64)]| d.iter().find(|(n, _)| *n == x).unwrap().1;
@@ -140,7 +147,12 @@ fn fig2_reunite_departure_of_r1_changes_r2s_route() {
     let t = k.now();
     k.command_at(source, Cmd::SendData { ch, tag: 1 }, t);
     k.run_until(t + 500);
-    let before = k.stats().deliveries_tagged(1).find(|d| d.node == r2).unwrap().delay();
+    let before = k
+        .stats()
+        .deliveries_tagged(1)
+        .find(|d| d.node == r2)
+        .unwrap()
+        .delay();
     assert_eq!(before, 5);
 
     k.command_at(r1, Cmd::Leave(ch), k.now());
@@ -151,7 +163,11 @@ fn fig2_reunite_departure_of_r1_changes_r2s_route() {
     k.run_until(t + 500);
     let after: Vec<_> = k.stats().deliveries_tagged(2).collect();
     assert_eq!(after.len(), 1, "only r2 remains");
-    assert_eq!(after[0].delay(), 2, "r2 rerouted to the shortest path (Figure 2(d))");
+    assert_eq!(
+        after[0].delay(),
+        2,
+        "r2 rerouted to the shortest path (Figure 2(d))"
+    );
 }
 
 // --- Figure 5 (HBH on the same topology) ---------------------------------
@@ -195,7 +211,10 @@ fn fig3_reunite_duplicates_on_the_shared_link_hbh_does_not() {
         reunite_copies[&shared], 2,
         "REUNITE: two copies of the same packet on R1→R6 (Figure 3)"
     );
-    assert_eq!(hbh_copies[&shared], 1, "HBH: fusion suppresses the duplicate");
+    assert_eq!(
+        hbh_copies[&shared], 1,
+        "HBH: fusion suppresses the duplicate"
+    );
     assert!(
         kh.stats().data_copies_tagged(1) < kr.stats().data_copies_tagged(1),
         "HBH tree strictly cheaper"

@@ -41,7 +41,11 @@ fn make_run(seed: u64, routers: usize, group: usize) -> Run {
     let pool: Vec<NodeId> = hosts[1..].to_vec();
     let group = group.min(pool.len());
     let receivers = sample_receivers(&pool, group, &mut rng);
-    Run { source, receivers, graph }
+    Run {
+        source,
+        receivers,
+        graph,
+    }
 }
 
 /// Converges the protocol with all receivers joined, probes once, and
@@ -58,7 +62,9 @@ fn converge_and_probe<P: Protocol<Command = Cmd>>(
     for (i, &r) in run.receivers.iter().enumerate() {
         k.command_at(r, Cmd::Join(ch), Time(i as u64 * 77));
     }
-    k.run_until(Time(timing.convergence_horizon(run.receivers.len() as u64 * 77)));
+    k.run_until(Time(
+        timing.convergence_horizon(run.receivers.len() as u64 * 77),
+    ));
     // Quiesce.
     for _ in 0..8 {
         let before = k.stats().structural_changes;
@@ -71,8 +77,11 @@ fn converge_and_probe<P: Protocol<Command = Cmd>>(
     let t = k.now();
     k.command_at(run.source, Cmd::SendData { ch, tag: 9 }, t);
     k.run_until(t + 4000);
-    let delays: Vec<(NodeId, u64)> =
-        k.stats().deliveries_tagged(9).map(|d| (d.node, d.delay())).collect();
+    let delays: Vec<(NodeId, u64)> = k
+        .stats()
+        .deliveries_tagged(9)
+        .map(|d| (d.node, d.delay()))
+        .collect();
     let cost = k.stats().data_copies_tagged(9);
     (k, delays, cost)
 }

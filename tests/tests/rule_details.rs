@@ -153,7 +153,10 @@ fn pim_suppresses_upstream_join_amplification() {
         upstream_joins <= 2 * periods + 2,
         "router b forwarded {upstream_joins} joins in {periods} periods (amplification)"
     );
-    assert!(upstream_joins >= periods - 2, "suppression must not starve upstream refresh");
+    assert!(
+        upstream_joins >= periods - 2,
+        "suppression must not starve upstream refresh"
+    );
 }
 
 #[test]
@@ -172,6 +175,9 @@ fn hbh_first_join_reaches_source_even_through_branching_nodes() {
     // hold an entry for r2 itself — not an aggregate.
     k.run_until(Time(280));
     let mft = k.state(s).mft(ch).expect("source table");
-    assert!(mft.contains(r2, k.now()), "initial join must reach the source");
+    assert!(
+        mft.contains(r2, k.now()),
+        "initial join must reach the source"
+    );
     let _ = a;
 }

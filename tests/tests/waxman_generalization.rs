@@ -3,7 +3,7 @@
 //! just on the two topologies the evaluation was tuned on.
 
 use hbh_experiments::figures::eval::{
-    evaluate, health_violations, hbh_advantage_over_reunite, EvalConfig, Metric,
+    evaluate, hbh_advantage_over_reunite, health_violations, EvalConfig, Metric,
 };
 use hbh_experiments::protocols::ProtocolKind;
 use hbh_experiments::scenario::TopologyKind;
@@ -39,7 +39,10 @@ fn waxman_hbh_matches_pim_ss_cost_and_beats_reunite() {
         "REUNITE {reunite_cost} should exceed HBH {hbh_cost} on Waxman too"
     );
     let delay_adv = hbh_advantage_over_reunite(&c, &points, Metric::Delay).unwrap();
-    assert!(delay_adv >= -1.0, "HBH must not lose on delay ({delay_adv}%)");
+    assert!(
+        delay_adv >= -1.0,
+        "HBH must not lose on delay ({delay_adv}%)"
+    );
 }
 
 #[test]
@@ -52,7 +55,11 @@ fn waxman_shared_tree_is_worst_on_delay() {
     let idx = |k: ProtocolKind| c.protocols.iter().position(|&p| p == k).unwrap();
     let p = &points[0].per_protocol;
     let sm = p[idx(ProtocolKind::PimSm)].delay.mean();
-    for k in [ProtocolKind::PimSs, ProtocolKind::Reunite, ProtocolKind::Hbh] {
+    for k in [
+        ProtocolKind::PimSs,
+        ProtocolKind::Reunite,
+        ProtocolKind::Hbh,
+    ] {
         assert!(
             sm >= p[idx(k)].delay.mean(),
             "PIM-SM ({sm}) should have the worst delay; {} is {}",

@@ -1,0 +1,140 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro/type surface the workspace's benches use
+//! ([`Criterion`], [`Bencher`], [`criterion_group!`], [`criterion_main!`])
+//! with a simple wall-clock measurement loop: each benchmark warms up
+//! briefly, runs `sample_size` timed samples, and prints min/median/mean.
+//! No plots, no statistical regression analysis, no saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Times closures handed to [`Criterion::bench_function`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records per-iteration wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples.capacity() {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+/// Benchmark driver; collects samples and prints a short report per bench.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (upstream default: 100).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark and prints `min / median / mean` per iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        // Calibrate roughly one sample's worth of iterations on ~50ms.
+        let mut b = Bencher {
+            samples: Vec::with_capacity(1),
+            iters_per_sample: 1,
+        };
+        f(&mut b);
+        let once = b
+            .samples
+            .first()
+            .copied()
+            .unwrap_or(Duration::from_nanos(1))
+            .max(Duration::from_nanos(1));
+        let iters =
+            (Duration::from_millis(50).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            iters_per_sample: iters,
+        };
+        f(&mut b);
+        let mut samples = b.samples;
+        samples.sort();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "{id:<40} min {min:>12.2?}  median {median:>12.2?}  mean {mean:>12.2?}  ({} samples x {iters} iters)",
+            samples.len()
+        );
+        self
+    }
+}
+
+/// Declares a group of benchmark functions plus the `Criterion` config to
+/// run them with. Mirrors upstream's two syntaxes.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Entry point: runs each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("macro_target", |b| b.iter(|| 1 + 1));
+    }
+
+    criterion_group! {
+        name = shim_group;
+        config = Criterion::default().sample_size(2);
+        targets = target
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        shim_group();
+    }
+}

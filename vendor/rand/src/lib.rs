@@ -1,0 +1,247 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the exact API surface it consumes: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], and the [`RngExt`] sampling methods
+//! (`random::<T>()`, `random_range(..)`).
+//!
+//! The generator is **xoshiro256\*\*** seeded through SplitMix64 — a
+//! well-studied, high-quality 256-bit PRNG (Blackman & Vigna). It is not
+//! the upstream `StdRng` stream (ChaCha12), but every consumer in this
+//! workspace treats the stream as an opaque deterministic function of the
+//! seed, which this preserves: same seed ⇒ same stream, forever, on every
+//! platform.
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Re-export home of the standard generator, mirroring `rand::rngs`.
+pub mod rngs {
+    /// Deterministic 256-bit PRNG (xoshiro256** under the hood).
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        /// The core generator: returns the next 64 random bits.
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+}
+
+use rngs::StdRng;
+
+/// Types that can be drawn uniformly by [`RngExt::random`].
+pub trait Standard: Sized {
+    fn draw(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn draw(rng: &mut StdRng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn draw(rng: &mut StdRng) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn draw(rng: &mut StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[inline]
+            fn draw(rng: &mut StdRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Integer types [`RngExt::random_range`] can sample.
+pub trait UniformInt: Copy + PartialOrd {
+    fn to_u64(self) -> u64;
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn to_u64(self) -> u64 { self as u64 }
+            #[inline]
+            fn from_u64(v: u64) -> Self { v as $t }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+/// Ranges acceptable to [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Inclusive `(lo, hi)` bounds; panics if empty.
+    fn bounds(&self) -> (T, T);
+}
+
+impl<T: UniformInt> SampleRange<T> for core::ops::Range<T> {
+    fn bounds(&self) -> (T, T) {
+        assert!(self.start < self.end, "cannot sample empty range");
+        (self.start, T::from_u64(self.end.to_u64() - 1))
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn bounds(&self) -> (T, T) {
+        assert!(self.start() <= self.end(), "cannot sample empty range");
+        (*self.start(), *self.end())
+    }
+}
+
+/// The sampling surface, mirroring `rand 0.10`'s `RngExt`.
+pub trait RngExt {
+    /// A uniform draw of `T` over its natural domain (`[0, 1)` for
+    /// floats, the full bit-range for integers, fair coin for `bool`).
+    fn random<T: Standard>(&mut self) -> T;
+
+    /// A uniform draw from `range` (half-open or inclusive).
+    fn random_range<T: UniformInt, R: SampleRange<T>>(&mut self, range: R) -> T;
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool;
+}
+
+impl RngExt for StdRng {
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    fn random_range<T: UniformInt, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let (lo, hi) = range.bounds();
+        let (lo64, hi64) = (lo.to_u64(), hi.to_u64());
+        let span = hi64 - lo64 + 1; // 0 means the full 2^64 span
+        if span == 0 {
+            return T::from_u64(self.next_u64());
+        }
+        // Debiased multiply-shift (Lemire); rejection keeps it exact.
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return T::from_u64(lo64 + v % span);
+            }
+        }
+    }
+
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        self.random::<f64>() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!((a.next_u64(), a.next_u64()), (b.next_u64(), b.next_u64()));
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..10_000 {
+            let x = r.random_range(3u32..=7);
+            assert!((3..=7).contains(&x));
+            seen_lo |= x == 3;
+            seen_hi |= x == 7;
+        }
+        assert!(seen_lo && seen_hi, "uniform draw must reach both bounds");
+        for _ in 0..1000 {
+            let x = r.random_range(0usize..5);
+            assert!(x < 5);
+        }
+    }
+
+    #[test]
+    fn unit_f64_is_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(12);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = StdRng::seed_from_u64(1);
+        let _ = r.random_range(5u32..5);
+    }
+}
