@@ -10,7 +10,9 @@ use std::hint::black_box;
 fn stability_departures(c: &mut Criterion) {
     c.bench_function("stability_departure_churn", |b| {
         b.iter(|| {
-            let cfg = stability::StabilityConfig::default_with_runs(2);
+            let cfg = stability::StabilityConfig::from_run(
+                &hbh_experiments::runner::RunConfig::new().runs(2),
+            );
             let points = stability::evaluate(black_box(&cfg));
             let hbh = cfg
                 .protocols

@@ -8,12 +8,13 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use hbh_experiments::figures::eval::{
     evaluate, hbh_advantage_over_reunite, health_violations, EvalConfig, Metric,
 };
+use hbh_experiments::runner::RunConfig;
 use hbh_experiments::scenario::TopologyKind;
 use std::hint::black_box;
 
 /// Reduced-scale figure config: full group-size sweep, few runs per point.
 fn cfg(topo: TopologyKind, runs: usize) -> EvalConfig {
-    EvalConfig::paper(topo, runs)
+    EvalConfig::from_run(&RunConfig::new().topo(topo).runs(runs))
 }
 
 fn bench_figure(c: &mut Criterion, name: &str, topo: TopologyKind, runs: usize, metric: Metric) {

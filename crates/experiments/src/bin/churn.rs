@@ -1,0 +1,44 @@
+//! Churn experiment — crash the busiest core router mid-session, measure
+//! tree repair latency, probe misses/duplicates during reconfiguration,
+//! and route perturbation of innocent receivers (HBH vs REUNITE).
+//!
+//! ```text
+//! cargo run --release -p hbh-experiments --bin churn -- --runs 100
+//! cargo run --release -p hbh-experiments --bin churn -- --topo rand50 --runs 50
+//! ```
+//!
+//! Prints the table and writes it to `results/churn.txt`. Exits nonzero if
+//! any protocol failed to restore full service after the router restarted.
+
+use hbh_experiments::figures::churn::{evaluate, render, ChurnConfig};
+use hbh_experiments::report::Args;
+use hbh_experiments::runner::RunConfig;
+
+fn main() {
+    let mut allowed: Vec<&str> = RunConfig::STANDARD_ARGS.to_vec();
+    allowed.push("group");
+    let args = Args::parse(&allowed);
+    let mut cfg = ChurnConfig::from_run(&RunConfig::from_args(&args, 100));
+    cfg.group_size = args.get_parse("group", cfg.group_size);
+
+    let report = evaluate(&cfg);
+    let table = render(&cfg, &report);
+    let rendered = table.render();
+    println!("{rendered}");
+
+    std::fs::create_dir_all("results").expect("create results/");
+    let path = "results/churn.txt";
+    std::fs::write(path, format!("{rendered}\n")).expect("write churn report");
+    println!("# written to {path}");
+
+    for (kind, p) in cfg.protocols.iter().zip(&report.points) {
+        if p.unrecovered > 0 {
+            eprintln!(
+                "WARNING: {} did not restore full service in {} run(s)",
+                kind.name(),
+                p.unrecovered
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -12,15 +12,11 @@ use hbh_experiments::figures::eval::{
     evaluate, hbh_advantage_over_reunite, health_violations, render, EvalConfig, Metric,
 };
 use hbh_experiments::report::Args;
-use hbh_experiments::scenario::TopologyKind;
+use hbh_experiments::runner::RunConfig;
 
 fn main() {
-    let args = Args::parse(&["topo", "runs", "seed"]);
-    let topo = TopologyKind::parse(args.get("topo").unwrap_or("isp"))
-        .expect("--topo must be isp or rand50");
-    let runs: usize = args.get_parse("runs", 500);
-    let mut cfg = EvalConfig::paper(topo, runs);
-    cfg.base_seed = args.get_parse("seed", 1);
+    let args = Args::parse(RunConfig::STANDARD_ARGS);
+    let cfg = EvalConfig::from_run(&RunConfig::from_args(&args, 500));
 
     let points = evaluate(&cfg);
     let table = render(&cfg, &points, Metric::Delay);

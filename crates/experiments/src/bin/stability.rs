@@ -11,16 +11,12 @@
 
 use hbh_experiments::figures::stability::{evaluate, render, StabilityConfig};
 use hbh_experiments::report::Args;
-use hbh_experiments::scenario::TopologyKind;
+use hbh_experiments::runner::RunConfig;
 
 fn main() {
-    let args = Args::parse(&["runs", "group", "topo", "seed"]);
-    let mut cfg = StabilityConfig::default_with_runs(args.get_parse("runs", 100));
+    let args = Args::parse(&["runs", "group", "topo", "seed", "threads"]);
+    let mut cfg = StabilityConfig::from_run(&RunConfig::from_args(&args, 100));
     cfg.group_size = args.get_parse("group", 8);
-    cfg.base_seed = args.get_parse("seed", 1);
-    if let Some(t) = args.get("topo") {
-        cfg.topo = TopologyKind::parse(t).expect("--topo must be isp or rand50");
-    }
     let points = evaluate(&cfg);
     let table = render(&cfg, &points);
     println!("{}", table.render());

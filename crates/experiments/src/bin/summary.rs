@@ -10,12 +10,14 @@ use hbh_experiments::figures::eval::{evaluate, hbh_advantage_over_reunite, EvalC
 use hbh_experiments::figures::{asymmetry, clouds, qos, stability};
 use hbh_experiments::protocols::ProtocolKind;
 use hbh_experiments::report::Args;
+use hbh_experiments::runner::RunConfig;
 use hbh_experiments::scenario::TopologyKind;
 
 fn main() {
-    let args = Args::parse(&["runs", "seed"]);
-    let runs: usize = args.get_parse("runs", 30);
-    let seed: u64 = args.get_parse("seed", 1);
+    let args = Args::parse(&["runs", "seed", "threads"]);
+    let run = RunConfig::from_args(&args, 30);
+    let runs = run.runs;
+    let seed = run.base_seed;
 
     println!("# HBH reproduction summary ({runs} runs per point)\n");
 
@@ -24,8 +26,7 @@ fn main() {
         TopologyKind::Rand50,
         TopologyKind::Waxman30,
     ] {
-        let mut cfg = EvalConfig::paper(topo, runs);
-        cfg.base_seed = seed;
+        let mut cfg = EvalConfig::from_run(&run.clone().topo(topo));
         // Middle-of-figure group sizes keep the summary fast.
         let mid = cfg.sizes[cfg.sizes.len() / 2];
         cfg.sizes = vec![mid];
@@ -53,10 +54,8 @@ fn main() {
     }
 
     println!();
-    let scfg = stability::StabilityConfig {
-        runs: (runs / 2).max(3),
-        ..stability::StabilityConfig::default_with_runs(runs)
-    };
+    let scfg =
+        stability::StabilityConfig::from_run(&run.clone().runs((runs / 2).max(3)).seed(seed));
     let pts = stability::evaluate(&scfg);
     let idx = |k: ProtocolKind| scfg.protocols.iter().position(|&x| x == k).unwrap();
     println!(

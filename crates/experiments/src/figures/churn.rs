@@ -1,0 +1,410 @@
+//! Churn study: crash the busiest core router mid-session and measure how
+//! each protocol's soft state repairs the tree.
+//!
+//! The paper's protocols keep no hard state: trees are rebuilt purely by
+//! periodic join/tree refreshes, so a router crash should heal without any
+//! explicit failure signalling — at the cost of a repair window during
+//! which some receivers lose packets. This study quantifies that window
+//! for the recursive-unicast pair (HBH vs REUNITE):
+//!
+//! * **repair latency** — time from the crash until a probe is again
+//!   delivered to *every* receiver;
+//! * **packets lost** — per-receiver probe misses accumulated while the
+//!   tree is broken (probes fire once per tree period);
+//! * **duplicates** — extra copies delivered mid-repair, when stale state
+//!   and freshly built branches can forward concurrently;
+//! * **perturbed innocents** — receivers whose pre-crash data path avoided
+//!   the victim entirely but whose path changed anyway (the §3 stability
+//!   argument, under failures instead of departures).
+//!
+//! The victim is chosen deterministically per scenario: the multicast-
+//! capable router carrying the most source→receiver unicast paths,
+//! excluding every access router so that no receiver is disconnected
+//! outright. Runs whose surviving topology cannot reach all receivers are
+//! skipped (and counted).
+
+use crate::datapath::traced_probe;
+use crate::protocols::{dispatch, ProtocolKind, Study};
+use crate::report::Table;
+use crate::runner::{converge, probe_tolerant, probe_window};
+use crate::scenario::{build, Scenario, ScenarioOptions, TopologyKind};
+use crate::stats::Summary;
+use hbh_proto_base::{Channel, Cmd, Timing};
+use hbh_routing::RoutingTables;
+use hbh_sim_core::{FaultEvent, Kernel, Protocol};
+use hbh_topo::graph::NodeId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Picks the crash victim for a scenario, or `None` if no router can be
+/// crashed without disconnecting a receiver.
+///
+/// Deterministic per scenario: the multicast-capable router on the most
+/// source→receiver unicast paths (smallest id on ties), never an access
+/// router of the source or any receiver, and only if every receiver stays
+/// reachable on the surviving topology.
+pub fn pick_victim(scenario: &Scenario) -> Option<NodeId> {
+    let g = scenario.graph();
+    let tables = scenario.network().tables();
+    let mut excluded: BTreeSet<NodeId> = BTreeSet::new();
+    excluded.insert(g.host_router(scenario.source));
+    for &r in &scenario.receivers {
+        excluded.insert(g.host_router(r));
+    }
+    let mut on_paths: BTreeMap<NodeId, usize> = BTreeMap::new();
+    for &r in &scenario.receivers {
+        if let Some(path) = tables.path(scenario.source, r) {
+            for &n in &path {
+                if g.is_router(n) && g.is_mcast_capable(n) && !excluded.contains(&n) {
+                    *on_paths.entry(n).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    let mut victim = None;
+    let mut best = 0usize;
+    for (&n, &count) in &on_paths {
+        if count > best {
+            best = count;
+            victim = Some(n);
+        }
+    }
+    let victim = victim?;
+    let mut node_down = vec![false; g.node_count()];
+    node_down[victim.index()] = true;
+    let edge_down = vec![false; g.directed_edge_count()];
+    let avoiding = RoutingTables::compute_avoiding(g, &node_down, &edge_down);
+    scenario
+        .receivers
+        .iter()
+        .all(|&r| avoiding.dist(scenario.source, r).is_some())
+        .then_some(victim)
+}
+
+/// Outcome of one crash-and-recover experiment.
+#[derive(Clone, Debug)]
+pub struct ChurnOutcome {
+    /// Time units from the crash until a probe again reached every
+    /// receiver; `None` if the tree never fully re-formed in the budget.
+    pub repair_latency: Option<u64>,
+    /// Per-receiver probe misses accumulated while the tree was broken.
+    pub lost: u64,
+    /// Duplicate deliveries observed during the repair window.
+    pub duplicates: u64,
+    /// Receivers whose pre-crash data path avoided the victim.
+    pub innocent: usize,
+    /// Innocent receivers whose data path changed after repair anyway.
+    pub perturbed: usize,
+    /// All receivers served again after the victim restarted?
+    pub recovered: bool,
+}
+
+struct ChurnStudy {
+    victim: NodeId,
+}
+
+impl Study for ChurnStudy {
+    type Out = ChurnOutcome;
+
+    fn run<P>(
+        &self,
+        mut k: Kernel<P>,
+        ch: Channel,
+        scenario: &Scenario,
+        timing: &Timing,
+    ) -> ChurnOutcome
+    where
+        P: Protocol<Command = Cmd>,
+        P::NodeState: hbh_proto_base::StateInventory,
+    {
+        converge(&mut k, timing, scenario.join_window);
+        let before = traced_probe(&mut k, ch, 1);
+        let innocent: Vec<NodeId> = scenario
+            .receivers
+            .iter()
+            .copied()
+            .filter(|&r| before.path_to(r).is_some_and(|p| !p.contains(&self.victim)))
+            .collect();
+
+        let t_fail = k.now() + 1;
+        k.schedule_fault(t_fail, FaultEvent::NodeDown(self.victim));
+        k.run_until(t_fail);
+
+        // Probe once per tree period until every receiver is served again.
+        // Soft state can take a couple of destroy timeouts to flush stale
+        // branches and re-grow, so budget a few t2 rounds.
+        let expected = scenario.receivers.len();
+        let window = probe_window(k.network());
+        let deadline = t_fail + 8 * timing.t2 + 8 * timing.tree_period;
+        let mut lost = 0u64;
+        let mut duplicates = 0u64;
+        let mut repair_latency = None;
+        let mut tag = 100u64;
+        while k.now() < deadline {
+            let inject = k.now();
+            let (delays, dups) = probe_tolerant(&mut k, ch, tag, window);
+            duplicates += dups;
+            let served = scenario
+                .receivers
+                .iter()
+                .filter(|r| delays.contains_key(r))
+                .count();
+            if served == expected {
+                repair_latency = Some(inject - t_fail);
+                break;
+            }
+            lost += (expected - served) as u64;
+            tag += 1;
+            k.run_until(inject + timing.tree_period);
+        }
+
+        // Route perturbation of innocents, measured on the repaired tree
+        // (victim still down): their unicast shortest paths are untouched
+        // by the crash, so any change is protocol-induced.
+        let mut perturbed = 0;
+        if repair_latency.is_some() {
+            let during = traced_probe(&mut k, ch, 2);
+            perturbed = innocent
+                .iter()
+                .filter(|&&r| before.path_to(r) != during.path_to(r))
+                .count();
+        }
+
+        let t_up = k.now() + 1;
+        k.schedule_fault(t_up, FaultEvent::NodeUp(self.victim));
+        k.run_until(t_up);
+        converge(&mut k, timing, 0);
+        let (delays, _) = probe_tolerant(&mut k, ch, 3, window);
+        let recovered = scenario.receivers.iter().all(|r| delays.contains_key(r));
+
+        ChurnOutcome {
+            repair_latency,
+            lost,
+            duplicates,
+            innocent: innocent.len(),
+            perturbed,
+            recovered,
+        }
+    }
+}
+
+/// Runs the churn study for one protocol on one scenario.
+pub fn run_churn(
+    kind: ProtocolKind,
+    scenario: &Scenario,
+    timing: &Timing,
+    victim: NodeId,
+) -> ChurnOutcome {
+    dispatch(kind, scenario, timing, &ChurnStudy { victim })
+}
+
+/// Aggregates over runs, per protocol.
+#[derive(Clone, Debug, Default)]
+pub struct ChurnPoint {
+    /// Repair latency over runs that repaired (time units).
+    pub repair_latency: Summary,
+    pub lost: Summary,
+    pub duplicates: Summary,
+    /// Perturbed innocent receivers per run.
+    pub perturbed: Summary,
+    /// Runs where the tree never fully re-formed within the budget.
+    pub unrepaired: u64,
+    /// Runs where service was not fully restored after the restart.
+    pub unrecovered: u64,
+}
+
+pub struct ChurnConfig {
+    pub topo: TopologyKind,
+    pub group_size: usize,
+    pub runs: usize,
+    pub base_seed: u64,
+    pub timing: Timing,
+    pub protocols: Vec<ProtocolKind>,
+}
+
+impl ChurnConfig {
+    /// Churn view of a shared [`crate::runner::RunConfig`]: fixed paper
+    /// group size of 8 and the recursive-unicast pair (HBH vs REUNITE —
+    /// the protocols whose repair behaviour the paper argues about);
+    /// topology, runs, seed and timing carried over.
+    pub fn from_run(run: &crate::runner::RunConfig) -> Self {
+        ChurnConfig {
+            topo: run.topo,
+            group_size: 8,
+            runs: run.runs,
+            base_seed: run.base_seed,
+            timing: run.timing,
+            protocols: ProtocolKind::RECURSIVE_UNICAST.to_vec(),
+        }
+    }
+}
+
+/// Full study output: one point per protocol plus the skip count.
+pub struct ChurnReport {
+    pub points: Vec<ChurnPoint>,
+    /// Runs with no crashable router (every candidate disconnects someone).
+    pub skipped: u64,
+}
+
+pub fn evaluate(cfg: &ChurnConfig) -> ChurnReport {
+    let per_run = crate::parallel::map_runs(cfg.runs, |run| {
+        let sc = build(
+            cfg.topo,
+            cfg.group_size,
+            cfg.base_seed ^ ((run as u64) << 16),
+            &cfg.timing,
+            &ScenarioOptions::default(),
+        );
+        let victim = pick_victim(&sc)?;
+        Some(
+            cfg.protocols
+                .iter()
+                .map(|&kind| run_churn(kind, &sc, &cfg.timing, victim))
+                .collect::<Vec<_>>(),
+        )
+    });
+    let mut points = vec![ChurnPoint::default(); cfg.protocols.len()];
+    let mut skipped = 0;
+    for outcomes in per_run {
+        let Some(outcomes) = outcomes else {
+            skipped += 1;
+            continue;
+        };
+        for (p, o) in points.iter_mut().zip(outcomes) {
+            match o.repair_latency {
+                Some(lat) => p.repair_latency.add(lat as f64),
+                None => p.unrepaired += 1,
+            }
+            p.lost.add(o.lost as f64);
+            p.duplicates.add(o.duplicates as f64);
+            p.perturbed.add(o.perturbed as f64);
+            if !o.recovered {
+                p.unrecovered += 1;
+            }
+        }
+    }
+    ChurnReport { points, skipped }
+}
+
+pub fn render(cfg: &ChurnConfig, report: &ChurnReport) -> Table {
+    let names: Vec<&str> = cfg.protocols.iter().map(|p| p.name()).collect();
+    let mut t = Table::new(
+        format!(
+            "Tree repair after a core-router crash — {} topology, {} receivers, {} runs ({} skipped)",
+            cfg.topo.name(),
+            cfg.group_size,
+            cfg.runs,
+            report.skipped
+        ),
+        "metric",
+        &names,
+    );
+    let points = &report.points;
+    t.row(
+        "repair latency",
+        points
+            .iter()
+            .map(|p| Table::cell(p.repair_latency.mean(), p.repair_latency.ci95()))
+            .collect(),
+    );
+    t.row(
+        "probe misses",
+        points
+            .iter()
+            .map(|p| Table::cell(p.lost.mean(), p.lost.ci95()))
+            .collect(),
+    );
+    t.row(
+        "duplicates",
+        points
+            .iter()
+            .map(|p| Table::cell(p.duplicates.mean(), p.duplicates.ci95()))
+            .collect(),
+    );
+    t.row(
+        "perturbed innocents",
+        points
+            .iter()
+            .map(|p| Table::cell(p.perturbed.mean(), p.perturbed.ci95()))
+            .collect(),
+    );
+    t.row(
+        "unrepaired runs",
+        points
+            .iter()
+            .map(|p| format!("{:>8}", p.unrepaired))
+            .collect(),
+    );
+    t.row(
+        "unrecovered runs",
+        points
+            .iter()
+            .map(|p| format!("{:>8}", p.unrecovered))
+            .collect(),
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::RunConfig;
+
+    fn small_cfg(runs: usize, protocols: Vec<ProtocolKind>) -> ChurnConfig {
+        let mut cfg = ChurnConfig::from_run(&RunConfig::new().runs(runs));
+        cfg.protocols = protocols;
+        cfg
+    }
+
+    #[test]
+    fn victim_is_deterministic_and_never_an_access_router() {
+        let timing = Timing::default();
+        let sc = build(
+            TopologyKind::Isp,
+            8,
+            7,
+            &timing,
+            &ScenarioOptions::default(),
+        );
+        let v = pick_victim(&sc).expect("ISP always has a crashable core router");
+        assert_eq!(Some(v), pick_victim(&sc));
+        let g = sc.graph();
+        assert!(g.is_router(v) && g.is_mcast_capable(v));
+        assert_ne!(v, g.host_router(sc.source));
+        for &r in &sc.receivers {
+            assert_ne!(v, g.host_router(r), "victim is {r}'s access router");
+        }
+    }
+
+    #[test]
+    fn hbh_repairs_and_recovers_from_a_core_crash() {
+        let cfg = small_cfg(3, vec![ProtocolKind::Hbh]);
+        let report = evaluate(&cfg);
+        let p = &report.points[0];
+        assert_eq!(p.unrepaired, 0, "HBH tree failed to self-heal");
+        assert_eq!(p.unrecovered, 0, "HBH lost receivers after restart");
+    }
+
+    #[test]
+    fn reunite_recovers_from_a_core_crash() {
+        let cfg = small_cfg(3, vec![ProtocolKind::Reunite]);
+        let report = evaluate(&cfg);
+        let p = &report.points[0];
+        assert_eq!(p.unrepaired, 0, "REUNITE tree failed to self-heal");
+        assert_eq!(p.unrecovered, 0, "REUNITE lost receivers after restart");
+    }
+
+    #[test]
+    fn hbh_never_perturbs_innocent_receivers() {
+        // The §3 stability argument under failures: a receiver whose path
+        // avoided the crashed router keeps its exact route, because HBH
+        // data paths are the unicast shortest paths and those are
+        // untouched by removing a node they never used.
+        let cfg = small_cfg(3, vec![ProtocolKind::Hbh]);
+        let report = evaluate(&cfg);
+        assert_eq!(
+            report.points[0].perturbed.mean(),
+            0.0,
+            "HBH rerouted receivers unaffected by the crash"
+        );
+    }
+}

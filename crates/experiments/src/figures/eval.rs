@@ -44,16 +44,24 @@ pub struct EvalConfig {
 }
 
 impl EvalConfig {
-    pub fn paper(topo: TopologyKind, runs: usize) -> Self {
+    /// Evaluation view of a shared [`crate::runner::RunConfig`]: the
+    /// paper's group-size sweep for the run's topology, all other knobs
+    /// carried over.
+    pub fn from_run(run: &crate::runner::RunConfig) -> Self {
         EvalConfig {
-            topo,
-            sizes: topo.paper_group_sizes(),
-            runs,
-            base_seed: 1,
-            timing: Timing::default(),
-            opts: ScenarioOptions::default(),
-            protocols: ProtocolKind::ALL.to_vec(),
+            topo: run.topo,
+            sizes: run.topo.paper_group_sizes(),
+            runs: run.runs,
+            base_seed: run.base_seed,
+            timing: run.timing,
+            opts: run.opts,
+            protocols: run.protocols.clone(),
         }
+    }
+
+    #[deprecated(note = "build a runner::RunConfig and use EvalConfig::from_run")]
+    pub fn paper(topo: TopologyKind, runs: usize) -> Self {
+        EvalConfig::from_run(&crate::runner::RunConfig::new().topo(topo).runs(runs))
     }
 }
 
@@ -216,9 +224,20 @@ mod tests {
     use super::*;
 
     fn small_cfg() -> EvalConfig {
-        let mut cfg = EvalConfig::paper(TopologyKind::Isp, 6);
+        let mut cfg = EvalConfig::from_run(&crate::runner::RunConfig::new().runs(6));
         cfg.sizes = vec![4, 10];
         cfg
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_paper_constructor_matches_from_run() {
+        let old = EvalConfig::paper(TopologyKind::Isp, 6);
+        let new = EvalConfig::from_run(&crate::runner::RunConfig::new().runs(6));
+        assert_eq!(old.sizes, new.sizes);
+        assert_eq!(old.base_seed, new.base_seed);
+        assert_eq!(old.runs, new.runs);
+        assert_eq!(old.protocols, new.protocols);
     }
 
     #[test]

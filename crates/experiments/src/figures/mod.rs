@@ -2,6 +2,7 @@
 //! artifact ↔ module ↔ binary map.
 
 pub mod asymmetry;
+pub mod churn;
 pub mod clouds;
 pub mod eval;
 pub mod groups;

@@ -103,15 +103,22 @@ pub struct StabilityConfig {
 }
 
 impl StabilityConfig {
-    pub fn default_with_runs(runs: usize) -> Self {
+    /// Stability view of a shared [`crate::runner::RunConfig`] (fixed
+    /// paper group size of 8; all other knobs carried over).
+    pub fn from_run(run: &crate::runner::RunConfig) -> Self {
         StabilityConfig {
-            topo: TopologyKind::Isp,
+            topo: run.topo,
             group_size: 8,
-            runs,
-            base_seed: 1,
-            timing: Timing::default(),
-            protocols: ProtocolKind::ALL.to_vec(),
+            runs: run.runs,
+            base_seed: run.base_seed,
+            timing: run.timing,
+            protocols: run.protocols.clone(),
         }
+    }
+
+    #[deprecated(note = "build a runner::RunConfig and use StabilityConfig::from_run")]
+    pub fn default_with_runs(runs: usize) -> Self {
+        StabilityConfig::from_run(&crate::runner::RunConfig::new().runs(runs))
     }
 }
 
@@ -182,12 +189,11 @@ pub fn render(cfg: &StabilityConfig, points: &[StabilityPoint]) -> Table {
 mod tests {
     use super::*;
 
+    use crate::runner::RunConfig;
+
     #[test]
     fn departures_never_break_survivors() {
-        let cfg = StabilityConfig {
-            runs: 3,
-            ..StabilityConfig::default_with_runs(3)
-        };
+        let cfg = StabilityConfig::from_run(&RunConfig::new().runs(3));
         let points = evaluate(&cfg);
         for (i, p) in points.iter().enumerate() {
             assert_eq!(p.failures, 0, "{} broke survivors", cfg.protocols[i].name());
@@ -198,11 +204,8 @@ mod tests {
     fn hbh_survivor_routes_are_stable() {
         // §3's claim: member departure never changes other receivers'
         // routes in HBH. (REUNITE's number may be nonzero — Figure 2.)
-        let cfg = StabilityConfig {
-            runs: 5,
-            protocols: vec![ProtocolKind::Hbh],
-            ..StabilityConfig::default_with_runs(5)
-        };
+        let cfg =
+            StabilityConfig::from_run(&RunConfig::new().runs(5).protocols(vec![ProtocolKind::Hbh]));
         let points = evaluate(&cfg);
         assert_eq!(
             points[0].route_changes.mean(),
@@ -215,11 +218,11 @@ mod tests {
     fn pim_ss_is_also_departure_stable() {
         // Reverse SPT branches are per-receiver independent: a departure
         // must not reroute anyone.
-        let cfg = StabilityConfig {
-            runs: 3,
-            protocols: vec![ProtocolKind::PimSs],
-            ..StabilityConfig::default_with_runs(3)
-        };
+        let cfg = StabilityConfig::from_run(
+            &RunConfig::new()
+                .runs(3)
+                .protocols(vec![ProtocolKind::PimSs]),
+        );
         let points = evaluate(&cfg);
         assert_eq!(points[0].route_changes.mean(), 0.0);
     }

@@ -12,6 +12,12 @@ use std::thread;
 /// Runs `f(run)` for `run` in `0..runs` across the available cores and
 /// returns the results in run order.
 ///
+/// The worker count defaults to the available cores but can be pinned
+/// with the `HBH_THREADS` environment variable (any positive integer;
+/// `HBH_THREADS=1` forces sequential execution) — useful for CI
+/// reproducibility of timings and for benchmarks that must not compete
+/// with each other. Invalid or zero values fall back to the default.
+///
 /// Work is split into contiguous chunks (one per worker) so each thread's
 /// scenario stream matches the sequential order — that is what lets the
 /// per-thread routing-table cache in [`crate::scenario`] hit across group
@@ -26,9 +32,7 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let workers = thread::available_parallelism()
-        .map_or(1, |n| n.get())
-        .min(runs.max(1));
+    let workers = configured_workers().min(runs.max(1));
     if workers <= 1 {
         return (0..runs).map(f).collect();
     }
@@ -50,6 +54,16 @@ where
     out
 }
 
+/// Worker count: `HBH_THREADS` when set to a positive integer, else the
+/// available parallelism.
+fn configured_workers() -> usize {
+    std::env::var("HBH_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -58,6 +72,24 @@ mod tests {
     fn results_come_back_in_run_order() {
         let v = map_runs(17, |i| i * i);
         assert_eq!(v, (0..17).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hbh_threads_env_pins_worker_count() {
+        // Env mutation is process-global: restore around the assertions.
+        // (Rust runs tests concurrently, but no other test in this crate
+        // reads HBH_THREADS at map_runs call time with a value dependency —
+        // results are order-stable for any worker count, which is exactly
+        // what this test also re-checks under a pinned count.)
+        std::env::set_var("HBH_THREADS", "2");
+        assert_eq!(configured_workers(), 2);
+        let v = map_runs(9, |i| i + 1);
+        assert_eq!(v, (1..=9).collect::<Vec<_>>());
+        std::env::set_var("HBH_THREADS", "not-a-number");
+        assert!(configured_workers() >= 1, "falls back to default");
+        std::env::set_var("HBH_THREADS", "0");
+        assert!(configured_workers() >= 1, "zero falls back to default");
+        std::env::remove_var("HBH_THREADS");
     }
 
     #[test]

@@ -1,11 +1,172 @@
 //! Generic experiment runner: build a kernel, converge (verified), inject
-//! a tagged probe, read the paper's metrics off the accounting.
+//! a tagged probe, read the paper's metrics off the accounting — plus
+//! [`RunConfig`], the one bundle of run knobs every figure binary shares.
 
-use crate::scenario::Scenario;
+use crate::protocols::ProtocolKind;
+use crate::report::Args;
+use crate::scenario::{Scenario, ScenarioOptions, TopologyKind};
 use hbh_proto_base::{Channel, Cmd, Timing};
 use hbh_sim_core::{Kernel, Network, Protocol, Time};
 use hbh_topo::graph::{EdgeId, NodeId};
 use std::collections::BTreeMap;
+
+/// The run knobs shared by every figure binary, as one builder-style
+/// value instead of positional constructor arguments scattered per
+/// figure: topology, run count, base seed, timing, scenario options,
+/// protocol set, trace toggle, probe-window override, and worker-thread
+/// pin.
+///
+/// Figure-specific configs convert from it (`EvalConfig::from_run`,
+/// `StabilityConfig::from_run`, `ChurnConfig::from_run`, …), and binaries
+/// build it straight from argv with [`RunConfig::from_args`]:
+///
+/// ```no_run
+/// use hbh_experiments::report::Args;
+/// use hbh_experiments::runner::RunConfig;
+///
+/// let args = Args::parse(RunConfig::STANDARD_ARGS);
+/// let run = RunConfig::from_args(&args, 100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Topology family scenarios are drawn from.
+    pub topo: TopologyKind,
+    /// Independent scenario draws per figure point.
+    pub runs: usize,
+    /// Base of the per-run seed stream (see `figures::eval::run_seed`).
+    pub base_seed: u64,
+    /// Protocol timer configuration.
+    pub timing: Timing,
+    /// Scenario-construction options.
+    pub opts: ScenarioOptions,
+    /// Protocols under test, in legend order.
+    pub protocols: Vec<ProtocolKind>,
+    /// Enable kernel tracing in studies that honor it (path
+    /// reconstruction costs memory; off by default).
+    pub trace: bool,
+    /// Override the derived [`probe_window`] (time units), for studies
+    /// probing under conditions the derivation does not model.
+    pub probe_window: Option<u64>,
+    /// Pin the `parallel::map_runs` worker count (applied via the
+    /// `HBH_THREADS` environment variable).
+    pub threads: Option<usize>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            topo: TopologyKind::Isp,
+            runs: 100,
+            base_seed: 1,
+            timing: Timing::default(),
+            opts: ScenarioOptions::default(),
+            protocols: ProtocolKind::ALL.to_vec(),
+            trace: false,
+            probe_window: None,
+            threads: None,
+        }
+    }
+}
+
+impl RunConfig {
+    /// The argv keys [`RunConfig::from_args`] understands; binaries append
+    /// their figure-specific keys to this list when calling `Args::parse`.
+    pub const STANDARD_ARGS: &'static [&'static str] = &["topo", "runs", "seed", "threads"];
+
+    /// Paper-default configuration (ISP topology, 100 runs, seed 1, all
+    /// four protocols).
+    pub fn new() -> Self {
+        RunConfig::default()
+    }
+
+    /// Reads the standard keys from parsed argv (`--topo --runs --seed
+    /// --threads`), with `default_runs` as the `--runs` fallback. A
+    /// `--threads` value is applied immediately (sets `HBH_THREADS`, which
+    /// `parallel::map_runs` reads).
+    pub fn from_args(args: &Args, default_runs: usize) -> Self {
+        let cfg = RunConfig::new()
+            .topo(
+                TopologyKind::parse(args.get("topo").unwrap_or("isp"))
+                    .expect("--topo must be isp or rand50"),
+            )
+            .runs(args.get_parse("runs", default_runs))
+            .seed(args.get_parse("seed", 1));
+        let cfg = match args.get("threads") {
+            Some(v) => cfg.threads(v.parse().expect("--threads must be a positive integer")),
+            None => cfg,
+        };
+        cfg.apply_threads();
+        cfg
+    }
+
+    /// Sets the topology family.
+    pub fn topo(mut self, topo: TopologyKind) -> Self {
+        self.topo = topo;
+        self
+    }
+
+    /// Sets the number of independent runs.
+    pub fn runs(mut self, runs: usize) -> Self {
+        self.runs = runs;
+        self
+    }
+
+    /// Sets the base seed.
+    pub fn seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// Sets the protocol timing.
+    pub fn timing(mut self, timing: Timing) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Sets the scenario options.
+    pub fn opts(mut self, opts: ScenarioOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Sets the protocol list.
+    pub fn protocols(mut self, protocols: Vec<ProtocolKind>) -> Self {
+        self.protocols = protocols;
+        self
+    }
+
+    /// Toggles kernel tracing for studies that honor it.
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Overrides the derived probe window.
+    pub fn probe_window(mut self, window: u64) -> Self {
+        self.probe_window = Some(window);
+        self
+    }
+
+    /// Pins the worker-thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Exports a pinned thread count to `HBH_THREADS` so
+    /// `parallel::map_runs` picks it up. No-op when `threads` is unset.
+    pub fn apply_threads(&self) {
+        if let Some(n) = self.threads {
+            std::env::set_var("HBH_THREADS", n.to_string());
+        }
+    }
+
+    /// The probe window to use over `net`: the override if set, else the
+    /// derived [`probe_window`].
+    pub fn probe_window_for(&self, net: &Network) -> u64 {
+        self.probe_window.unwrap_or_else(|| probe_window(net))
+    }
+}
 
 /// Result of one converged probe.
 #[derive(Clone, Debug, PartialEq)]
@@ -118,9 +279,31 @@ pub fn probe<P: Protocol<Command = Cmd>>(
     tag: u64,
     expected: usize,
 ) -> (u64, BTreeMap<NodeId, u64>) {
+    let window = probe_window(k.network());
+    let (delays, duplicates) = probe_tolerant(k, ch, tag, window);
+    assert!(
+        duplicates == 0,
+        "duplicate delivery of probe {tag} ({duplicates} extra copies)"
+    );
+    let cost = k.stats().data_copies_tagged(tag);
+    debug_assert!(delays.len() <= expected);
+    (cost, delays)
+}
+
+/// [`probe`] without the duplicate-free assertion: returns each
+/// receiver's *first* delivery delay plus the count of duplicate
+/// deliveries. Steady-state trees never duplicate (that is what [`probe`]
+/// pins), but a tree *mid-repair* legitimately can — e.g. REUNITE
+/// re-joining through a new branching node while stale state still
+/// forwards — which is precisely what the churn experiment measures.
+pub fn probe_tolerant<P: Protocol<Command = Cmd>>(
+    k: &mut Kernel<P>,
+    ch: Channel,
+    tag: u64,
+    window: u64,
+) -> (BTreeMap<NodeId, u64>, u64) {
     let at = k.now();
     k.command_at(ch.source, Cmd::SendData { ch, tag }, at);
-    let window = probe_window(k.network());
     let deadline = at + window;
     // The window bounds the *worst-case* propagation; the wave itself dies
     // out far sooner. Once the injected packet has fanned out and no
@@ -141,18 +324,17 @@ pub fn probe<P: Protocol<Command = Cmd>>(
             break;
         }
     }
-    let cost = k.stats().data_copies_tagged(tag);
     let mut delays = BTreeMap::new();
+    let mut duplicates = 0u64;
     for d in k.stats().deliveries_tagged(tag) {
-        let prev = delays.insert(d.node, d.delay());
-        assert!(
-            prev.is_none(),
-            "duplicate delivery at {} (tag {tag})",
-            d.node
-        );
+        match delays.entry(d.node) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(d.delay());
+            }
+            std::collections::btree_map::Entry::Occupied(_) => duplicates += 1,
+        }
     }
-    debug_assert!(delays.len() <= expected);
-    (cost, delays)
+    (delays, duplicates)
 }
 
 /// The standard experiment: converge then probe once.

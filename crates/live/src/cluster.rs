@@ -3,8 +3,8 @@
 
 use crate::codec::LiveMsg;
 use crate::node::{run_node, LiveCmd, NodeSetup};
-use hbh_proto_base::Cmd;
-use hbh_sim_core::{Delivery, Network, Protocol};
+use hbh_proto_base::{Cmd, Script, ScriptAction};
+use hbh_sim_core::{Delivery, FaultEvent, Network, Protocol};
 use hbh_topo::graph::{Graph, NodeId};
 use std::collections::HashMap;
 use std::net::{SocketAddr, UdpSocket};
@@ -76,6 +76,54 @@ impl Cluster {
     pub fn command(&self, node: NodeId, cmd: Cmd) {
         if let Some(tx) = self.commands.get(&node) {
             let _ = tx.send(LiveCmd::Proto(cmd));
+        }
+    }
+
+    /// Crashes a node: its protocol state and timers are wiped and it
+    /// ignores all traffic until [`Cluster::restart`]. The socket stays
+    /// bound, so in-flight datagrams vanish like on a rebooting router.
+    pub fn crash(&self, node: NodeId) {
+        if let Some(tx) = self.commands.get(&node) {
+            let _ = tx.send(LiveCmd::Crash);
+        }
+    }
+
+    /// Restarts a crashed node with factory-fresh state.
+    pub fn restart(&self, node: NodeId) {
+        if let Some(tx) = self.commands.get(&node) {
+            let _ = tx.send(LiveCmd::Restart);
+        }
+    }
+
+    /// Replays a [`Script`] against the cluster in wall-clock time: one
+    /// script time unit = one millisecond (matching [`crate::LiveTiming`]).
+    /// Entries are applied in time order; commands go to their node's
+    /// thread, node faults become [`Cluster::crash`]/[`Cluster::restart`].
+    /// Blocks until the last entry has been issued.
+    ///
+    /// The same `Script` drives [`hbh_sim_core::Kernel`] via
+    /// [`Script::schedule`], which is exactly the point: one scenario
+    /// description, two backends.
+    ///
+    /// # Panics
+    ///
+    /// On link faults — the live backend has no per-link switch (loopback
+    /// UDP has no links to cut); crash the adjacent node instead.
+    pub fn run_script(&self, script: &Script) {
+        let start = Instant::now();
+        for (at, action) in script.sorted_entries() {
+            let due = start + Duration::from_millis(at.0);
+            if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            match action {
+                ScriptAction::Command(node, cmd) => self.command(node, cmd),
+                ScriptAction::Fault(FaultEvent::NodeDown(n)) => self.crash(n),
+                ScriptAction::Fault(FaultEvent::NodeUp(n)) => self.restart(n),
+                ScriptAction::Fault(ev) => {
+                    panic!("live cluster cannot apply link fault {ev:?}")
+                }
+            }
         }
     }
 

@@ -37,6 +37,14 @@ impl LiveTiming {
 pub enum LiveCmd {
     /// A protocol command (join/leave/send) for this node.
     Proto(Cmd),
+    /// Crash the node: wipe protocol state and timers, then ignore all
+    /// traffic and protocol commands until [`LiveCmd::Restart`]. The
+    /// thread and socket stay up so the port is preserved — peers keep a
+    /// valid address and their datagrams vanish, exactly like a rebooting
+    /// router.
+    Crash,
+    /// Restart a crashed node with factory-fresh state.
+    Restart,
     /// Stop the node thread.
     Shutdown,
 }
@@ -212,14 +220,27 @@ where
         _msg: std::marker::PhantomData,
     };
     let mut buf = [0u8; 64 * 1024];
+    let mut crashed = false;
     loop {
         // 1. Commands from the harness.
         loop {
             match commands.try_recv() {
-                Ok(LiveCmd::Proto(cmd)) => {
+                Ok(LiveCmd::Proto(cmd)) if !crashed => {
                     let mut ctx = Ctx::from_ops(node, &mut ops);
                     proto.on_command(&mut state, cmd, &mut ctx);
                 }
+                Ok(LiveCmd::Proto(_)) => {} // a dead node takes no commands
+                Ok(LiveCmd::Crash) => {
+                    // Mirror the simulator's NodeDown: protocol state and
+                    // pending timers are volatile, so recovery must come
+                    // entirely from the neighbours' soft-state refreshes.
+                    state = P::NodeState::default();
+                    ops.timer_ids.clear();
+                    ops.timer_heap.clear();
+                    ops.timer_payloads.clear();
+                    crashed = true;
+                }
+                Ok(LiveCmd::Restart) => crashed = false,
                 Ok(LiveCmd::Shutdown) => return,
                 Err(_) => break,
             }
@@ -241,6 +262,9 @@ where
             .set_read_timeout(Some(Duration::from_millis(until_deadline)));
         match ops.socket.recv_from(&mut buf) {
             Ok((n, _)) => {
+                if crashed {
+                    continue; // drain and discard: a dead node hears nothing
+                }
                 let Some(pkt) = decode_packet::<P::Msg>(&buf[..n]) else {
                     continue;
                 };

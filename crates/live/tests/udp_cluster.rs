@@ -3,8 +3,9 @@
 
 use hbh_live::{Cluster, LiveTiming};
 use hbh_proto::Hbh;
-use hbh_proto_base::{Channel, Cmd};
+use hbh_proto_base::{Channel, Cmd, Script};
 use hbh_reunite::Reunite;
+use hbh_sim_core::Time;
 use hbh_topo::graph::NodeId;
 use hbh_topo::scenarios;
 use std::collections::HashSet;
@@ -79,5 +80,55 @@ fn leave_stops_delivery_over_udp() {
     let got = cluster.wait_deliveries(2, Duration::from_millis(800));
     let nodes: Vec<NodeId> = got.iter().map(|d| d.node).collect();
     assert_eq!(nodes, vec![r1], "only the remaining member: {got:?}");
+    cluster.shutdown();
+}
+
+#[test]
+fn scripted_router_crash_heals_over_udp() {
+    // The fault-injection acceptance test on real sockets: one Script
+    // (the same type the simulation kernel consumes) crashes a transit
+    // router mid-session. While it is down, only the receiver routed
+    // through it goes dark; after the restart, delivery resumes with no
+    // explicit re-join — the periodic join/tree refreshes rebuild the
+    // crashed router's blank forwarding state on their own.
+    let graph = scenarios::fig1();
+    let n = |l: &str| graph.node_by_label(l).unwrap();
+    let (s, h2, r1, r4) = (n("S"), n("H2"), n("r1"), n("r4"));
+    let timing = LiveTiming::fast().0;
+    let cluster = Cluster::launch(graph, || Hbh::new(timing)).unwrap();
+    let ch = Channel::primary(s);
+
+    // r1 sits behind H2 (S→H1→H2→H4→H6→r1); r4 is on the H3 branch and
+    // never touches H2 — the innocent receiver.
+    let c = converge_ms();
+    let script = Script::new()
+        .start_source(Time(0), ch)
+        .join(Time(40), r1, ch)
+        .join(Time(80), r4, ch)
+        .send(Time(c), ch, 1)
+        .fail_node(Time(c + 150), h2)
+        .send(Time(c + 300), ch, 2)
+        .restore_node(Time(c + 450), h2)
+        .send(Time(2 * c + 450), ch, 3);
+    cluster.run_script(&script);
+
+    let got = cluster.wait_deliveries(5, Duration::from_secs(3));
+    let nodes_for = |tag: u64| -> HashSet<NodeId> {
+        got.iter()
+            .filter(|d| d.tag == tag)
+            .map(|d| d.node)
+            .collect()
+    };
+    assert_eq!(nodes_for(1), HashSet::from([r1, r4]), "pre-crash: {got:?}");
+    assert_eq!(
+        nodes_for(2),
+        HashSet::from([r4]),
+        "crash must only unplug the receiver behind it: {got:?}"
+    );
+    assert_eq!(
+        nodes_for(3),
+        HashSet::from([r1, r4]),
+        "post-repair: {got:?}"
+    );
     cluster.shutdown();
 }

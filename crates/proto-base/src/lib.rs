@@ -22,17 +22,22 @@
 //!   topology scale and documented);
 //! * [`membership`] — receiver-set sampling and join/leave schedules (the
 //!   paper's "variable number of randomly chosen receivers", plus the
-//!   Poisson churn used by the group-dynamics ablation).
+//!   Poisson churn used by the group-dynamics ablation);
+//! * [`script`] — the unified scenario schedule (commands + fault events
+//!   at times) consumed by both the simulation kernel and the live UDP
+//!   cluster, so one scenario definition drives every backend.
 
 pub mod channel;
 pub mod command;
 pub mod inventory;
 pub mod membership;
+pub mod script;
 pub mod softstate;
 pub mod timing;
 
 pub use channel::{Channel, GroupAddr};
 pub use command::Cmd;
 pub use inventory::StateInventory;
+pub use script::{Script, ScriptAction};
 pub use softstate::{EntryPhase, SoftEntry};
 pub use timing::Timing;

@@ -80,7 +80,44 @@ pub fn shortest_paths(g: &Graph, root: NodeId) -> ShortestPaths {
 /// `first[v] = first[u]` (or `v` itself when `u` is the root) holds for
 /// the eventual shortest path too.
 pub(crate) fn shortest_paths_into(g: &Graph, root: NodeId, s: &mut DijkstraScratch) {
+    shortest_paths_core(g, root, s, |_| true, |_| true);
+}
+
+/// [`shortest_paths_into`] over the *surviving* topology: nodes flagged in
+/// `node_down` and directed edges flagged in `edge_down` are excluded from
+/// the search (the failure-injection reroute path). Both masks are indexed
+/// densely by `NodeId`/`EdgeId`; tie-breaking is identical to the
+/// unfiltered search, so all-false masks reproduce it exactly.
+pub(crate) fn shortest_paths_avoiding_into(
+    g: &Graph,
+    root: NodeId,
+    s: &mut DijkstraScratch,
+    node_down: &[bool],
+    edge_down: &[bool],
+) {
+    shortest_paths_core(
+        g,
+        root,
+        s,
+        |n: NodeId| !node_down[n.index()],
+        |e: hbh_topo::graph::EdgeId| !edge_down[e.index()],
+    );
+}
+
+/// The search itself, generic over the availability filters so the
+/// unfiltered hot path monomorphizes to the historical loop with no mask
+/// reads.
+fn shortest_paths_core(
+    g: &Graph,
+    root: NodeId,
+    s: &mut DijkstraScratch,
+    node_up: impl Fn(NodeId) -> bool,
+    edge_up: impl Fn(hbh_topo::graph::EdgeId) -> bool,
+) {
     s.reset(g.node_count());
+    if !node_up(root) {
+        return; // a failed root reaches nothing (its own dist stays MAX)
+    }
 
     s.dist[root.index()] = 0;
     s.heap.push(Reverse((0, root)));
@@ -96,6 +133,9 @@ pub(crate) fn shortest_paths_into(g: &Graph, root: NodeId, s: &mut DijkstraScrat
         }
         for e in g.neighbors(u) {
             let v = e.to;
+            if !edge_up(e.eid) || !node_up(v) {
+                continue;
+            }
             let nd = d + PathCost::from(e.cost);
             let better = nd < s.dist[v.index()]
                 || (nd == s.dist[v.index()] && tie_break(s.pred[v.index()], u));

@@ -6,7 +6,7 @@
 //! running [`crate::dijkstra`] from every node — NS-2's static routing does
 //! the same before the simulation starts.
 
-use crate::dijkstra::{shortest_paths_into, DijkstraScratch};
+use crate::dijkstra::{shortest_paths_avoiding_into, shortest_paths_into, DijkstraScratch};
 use hbh_topo::graph::{Graph, NodeId, PathCost};
 
 /// Precomputed all-pairs routing: distances and next hops.
@@ -51,6 +51,38 @@ impl RoutingTables {
         let mut scratch = DijkstraScratch::default();
         for u in g.nodes() {
             shortest_paths_into(g, u, &mut scratch);
+            let row = u.index() * n;
+            dist[row..row + n].copy_from_slice(&scratch.dist);
+            next[row..row + n].copy_from_slice(&scratch.first);
+        }
+        RoutingTables { n, dist, next }
+    }
+
+    /// [`RoutingTables::compute`] over the *surviving* topology: nodes
+    /// flagged in `node_down` and directed edges flagged in `edge_down` are
+    /// treated as absent. This models instantaneous unicast reconvergence
+    /// after a failure — the substrate the multicast protocols repair on
+    /// top of. Rows of down nodes are fully unreachable (a crashed router
+    /// neither originates nor receives).
+    ///
+    /// With all-false masks the result is identical to
+    /// [`RoutingTables::compute`] (same searches, same tie-breaks), which
+    /// the fault-free equivalence tests pin.
+    ///
+    /// # Panics
+    /// Panics if a mask length does not match the graph.
+    pub fn compute_avoiding(g: &Graph, node_down: &[bool], edge_down: &[bool]) -> Self {
+        assert_eq!(node_down.len(), g.node_count(), "node mask length");
+        assert_eq!(edge_down.len(), g.directed_edge_count(), "edge mask length");
+        let n = g.node_count();
+        let mut dist = vec![PathCost::MAX; n * n];
+        let mut next = vec![None; n * n];
+        let mut scratch = DijkstraScratch::default();
+        for u in g.nodes() {
+            if node_down[u.index()] {
+                continue; // row stays unreachable
+            }
+            shortest_paths_avoiding_into(g, u, &mut scratch, node_down, edge_down);
             let row = u.index() * n;
             dist[row..row + n].copy_from_slice(&scratch.dist);
             next[row..row + n].copy_from_slice(&scratch.first);
@@ -185,6 +217,60 @@ mod tests {
                 assert_eq!(Some(sum), t.dist(u, v));
             }
         }
+    }
+
+    #[test]
+    fn avoiding_nothing_equals_plain_compute() {
+        let mut g = isp_topology();
+        costs::assign_paper_costs(&mut g, &mut StdRng::seed_from_u64(7));
+        let plain = RoutingTables::compute(&g);
+        let masked = RoutingTables::compute_avoiding(
+            &g,
+            &vec![false; g.node_count()][..],
+            &vec![false; g.directed_edge_count()][..],
+        );
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(plain.dist(u, v), masked.dist(u, v), "dist {u}->{v}");
+                assert_eq!(plain.next_hop(u, v), masked.next_hop(u, v), "hop {u}->{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn avoiding_a_node_routes_around_it() {
+        // 0 - 1 - 3 (cheap via 1) with a detour 0 - 2 - 3; fail node 1.
+        let mut g = Graph::new();
+        let a = g.add_router();
+        let b = g.add_router();
+        let c = g.add_router();
+        let d = g.add_router();
+        g.add_link(a, b, 1, 1);
+        g.add_link(b, d, 1, 1);
+        g.add_link(a, c, 5, 5);
+        g.add_link(c, d, 5, 5);
+        let mut node_down = vec![false; g.node_count()];
+        node_down[b.index()] = true;
+        let t = RoutingTables::compute_avoiding(&g, &node_down, &[false; 8]);
+        assert_eq!(t.path(a, d), Some(vec![a, c, d]));
+        assert_eq!(t.dist(a, b), None, "down node is unreachable");
+        assert_eq!(t.dist(b, d), None, "down node originates nothing");
+    }
+
+    #[test]
+    fn avoiding_an_edge_is_directional_per_mask() {
+        let (g, n) = line();
+        // Fail both directions of the 0-1 link: 3 becomes unreachable
+        // from 0 and vice versa.
+        let mut edge_down = vec![false; g.directed_edge_count()];
+        let (e01, _) = g.edge_entry(n[0], n[1]).unwrap();
+        let (e10, _) = g.edge_entry(n[1], n[0]).unwrap();
+        edge_down[e01.index()] = true;
+        edge_down[e10.index()] = true;
+        let t = RoutingTables::compute_avoiding(&g, &vec![false; g.node_count()][..], &edge_down);
+        assert_eq!(t.dist(n[0], n[3]), None);
+        assert_eq!(t.dist(n[3], n[0]), None);
+        assert_eq!(t.dist(n[1], n[3]), Some(3 + 5), "rest of the line intact");
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! a stale heap entry can never fire).
 
 use crate::fasthash::{FastMap, FxBuildHasher};
+use crate::fault::{FaultEvent, FaultPlan};
 use crate::network::Network;
 use crate::packet::Packet;
 use crate::stats::{Delivery, Stats};
@@ -91,6 +92,10 @@ pub enum DropReason {
     AddressedToUnicastRouter,
     /// Dropped by the configured loss model (failure injection).
     InjectedLoss,
+    /// Transmitted onto a link that is currently down (fault injection).
+    LinkDown,
+    /// Arrived at a node that is currently crashed (fault injection).
+    NodeDown,
 }
 
 /// Failure-injection model: every link transmission is independently
@@ -131,6 +136,24 @@ enum EventKind<M, T, C> {
     Arrive { node: NodeId, pkt: Packet<M> },
     Timer { node: NodeId, timer: T, id: u64 },
     Command { node: NodeId, cmd: C },
+    Fault(FaultEvent),
+}
+
+/// Live fault-injection state, present only once a [`FaultPlan`] is
+/// installed (or a fault is scheduled directly). Keeping it behind an
+/// `Option<Box<_>>` means a fault-free kernel pays one pointer-null check
+/// on the transmit/arrival paths and draws no extra randomness — runs
+/// without a plan are bit-identical to runs on a kernel that has never
+/// heard of faults.
+struct FaultState {
+    /// `node_down[n]`: node `n` is crashed.
+    node_down: Vec<bool>,
+    /// `edge_down[e]`: directed edge `e` is down (links fail both
+    /// directions at once, so both directed twins are flagged together).
+    edge_down: Vec<bool>,
+    /// Dense per-directed-edge Bernoulli loss, if any link loss was
+    /// configured. Layered on top of the class-wide [`LossModel`].
+    edge_loss: Option<Vec<f64>>,
 }
 
 /// Near/far split for the two-band scheduler. Per-hop packet delays are
@@ -324,6 +347,8 @@ struct Core<M, T, C> {
     rng: StdRng,
     trace: Trace<M>,
     loss: LossModel,
+    /// `None` until a fault plan is installed — the zero-cost default.
+    faults: Option<Box<FaultState>>,
 }
 
 impl<M: Clone + Debug, T: Clone + Eq + Hash + Debug, C: Clone + Debug> Core<M, T, C> {
@@ -388,7 +413,15 @@ impl<M: Clone + Debug, T: Clone + Eq + Hash + Debug, C: Clone + Debug> Core<M, T
         cost: hbh_topo::graph::Cost,
         pkt: Packet<M>,
     ) {
-        if self.lose(pkt.class) {
+        if let Some(f) = &self.faults {
+            if f.edge_down[eid.index()] {
+                // A down link carries nothing: the copy never occupies it,
+                // so no transit is counted.
+                self.drop_packet(from, &pkt, DropReason::LinkDown);
+                return;
+            }
+        }
+        if self.lose(pkt.class) || self.lose_on_edge(eid) {
             // The copy is counted as transmitted (it did occupy the link)
             // and then lost.
             self.stats.count_transit(eid, pkt.class, pkt.tag);
@@ -415,6 +448,58 @@ impl<M: Clone + Debug, T: Clone + Eq + Hash + Debug, C: Clone + Debug> Core<M, T
     fn lose(&mut self, class: crate::packet::PacketClass) -> bool {
         let p = self.loss.prob_for(class);
         p > 0.0 && rand::RngExt::random::<f64>(&mut self.rng) < p
+    }
+
+    /// Per-link Bernoulli loss from an installed fault plan. Draws from
+    /// the RNG only when this edge actually has a positive loss
+    /// probability, preserving the RNG stream of loss-free runs.
+    fn lose_on_edge(&mut self, eid: hbh_topo::graph::EdgeId) -> bool {
+        let Some(loss) = self.faults.as_ref().and_then(|f| f.edge_loss.as_ref()) else {
+            return false;
+        };
+        let p = loss[eid.index()];
+        p > 0.0 && rand::RngExt::random::<f64>(&mut self.rng) < p
+    }
+
+    /// Allocates the fault masks on first use (all-up, no extra loss).
+    fn ensure_faults(&mut self) {
+        if self.faults.is_none() {
+            self.faults = Some(Box::new(FaultState {
+                node_down: vec![false; self.net.node_count()],
+                edge_down: vec![false; self.net.graph().directed_edge_count()],
+                edge_loss: None,
+            }));
+        }
+    }
+
+    /// Marks both directions of the link `a — b` down or up.
+    fn set_link(&mut self, a: NodeId, b: NodeId, down: bool) {
+        let (e_ab, _) = self
+            .net
+            .graph()
+            .edge_entry(a, b)
+            .unwrap_or_else(|| panic!("no link {a}-{b} to fail"));
+        let (e_ba, _) = self
+            .net
+            .graph()
+            .edge_entry(b, a)
+            .expect("links are bidirectional");
+        let f = self.faults.as_mut().expect("faults installed");
+        f.edge_down[e_ab.index()] = down;
+        f.edge_down[e_ba.index()] = down;
+    }
+
+    /// Recomputes unicast routing over the surviving topology — the
+    /// instantly-reconverged substrate the multicast protocols repair on.
+    fn reroute(&mut self) {
+        let f = self.faults.as_ref().expect("faults installed");
+        let tables = hbh_routing::RoutingTables::compute_avoiding(
+            self.net.graph(),
+            &f.node_down,
+            &f.edge_down,
+        );
+        let graph = self.net.graph().clone();
+        self.net = Network::with_tables(graph, tables);
     }
 
     fn forward(&mut self, at: NodeId, mut pkt: Packet<M>) {
@@ -632,7 +717,98 @@ impl<P: Protocol> Kernel<P> {
                 rng: StdRng::seed_from_u64(seed),
                 trace: Trace::disabled(),
                 loss: LossModel::default(),
+                faults: None,
             },
+        }
+    }
+
+    /// Installs a [`FaultPlan`]: resolves its per-link loss to dense
+    /// per-edge probabilities and schedules its topology events. May be
+    /// called more than once (plans accumulate); without any call the
+    /// kernel runs the historical fault-free fast path.
+    ///
+    /// # Panics
+    /// Panics if the plan names a nonexistent link or schedules an event
+    /// in the past.
+    pub fn install_faults(&mut self, plan: &FaultPlan) {
+        self.core.ensure_faults();
+        if !plan.link_loss.is_empty() {
+            let mut loss = self
+                .core
+                .faults
+                .as_mut()
+                .expect("just ensured")
+                .edge_loss
+                .take()
+                .unwrap_or_else(|| vec![0.0; self.core.net.graph().directed_edge_count()]);
+            for &(a, b, p) in &plan.link_loss {
+                let g = self.core.net.graph();
+                let (e_ab, _) = g
+                    .edge_entry(a, b)
+                    .unwrap_or_else(|| panic!("no link {a}-{b} for loss"));
+                let (e_ba, _) = g.edge_entry(b, a).expect("links are bidirectional");
+                loss[e_ab.index()] = p;
+                loss[e_ba.index()] = p;
+            }
+            self.core.faults.as_mut().expect("just ensured").edge_loss = Some(loss);
+        }
+        for &(at, ev) in &plan.events {
+            self.schedule_fault(at, ev);
+        }
+    }
+
+    /// Schedules a single fault event at absolute time `at`. Fault events
+    /// share the `(time, sequence)` order of every other kernel event, so
+    /// interleavings with commands and packets are deterministic.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past.
+    pub fn schedule_fault(&mut self, at: Time, ev: FaultEvent) {
+        assert!(at >= self.core.now, "fault scheduled in the past");
+        self.core.ensure_faults();
+        self.core.push(at, EventKind::Fault(ev));
+    }
+
+    /// Whether `n` is currently crashed by fault injection.
+    pub fn node_is_down(&self, n: NodeId) -> bool {
+        self.core
+            .faults
+            .as_ref()
+            .is_some_and(|f| f.node_down[n.index()])
+    }
+
+    /// Applies a topology fault *now*: flips availability masks, wipes a
+    /// crashed node's protocol state and timers, and reconverges unicast
+    /// routing on the surviving topology.
+    fn apply_fault(&mut self, ev: FaultEvent) {
+        self.core.ensure_faults();
+        match ev {
+            FaultEvent::LinkDown { a, b } => self.core.set_link(a, b, true),
+            FaultEvent::LinkUp { a, b } => self.core.set_link(a, b, false),
+            FaultEvent::NodeDown(n) => {
+                let f = self.core.faults.as_mut().expect("just ensured");
+                f.node_down[n.index()] = true;
+                // A crash loses all soft state and cancels every pending
+                // timer — recovery must come entirely from the neighbors'
+                // refresh traffic, exactly like a real router reboot.
+                self.states[n.index()] = P::NodeState::default();
+                self.core.timer_ids.retain(|(node, _), _| *node != n);
+            }
+            FaultEvent::NodeUp(n) => {
+                let f = self.core.faults.as_mut().expect("just ensured");
+                f.node_down[n.index()] = false;
+            }
+        }
+        self.core.reroute();
+        if self.core.trace.active() {
+            let node = match ev {
+                FaultEvent::LinkDown { a, .. } | FaultEvent::LinkUp { a, .. } => a,
+                FaultEvent::NodeDown(n) | FaultEvent::NodeUp(n) => n,
+            };
+            let now = self.core.now;
+            self.core
+                .trace
+                .record(now, node, TraceKind::Note(format!("fault: {ev:?}")));
         }
     }
 
@@ -725,18 +901,39 @@ impl<P: Protocol> Kernel<P> {
                 }
             }
             EventKind::Command { node, cmd } => {
-                let mut ctx = Ctx {
-                    node,
-                    core: &mut self.core,
-                };
-                self.proto
-                    .on_command(&mut self.states[node.index()], cmd, &mut ctx);
+                if self.node_is_down(node) {
+                    // A crashed node can't take experiment commands; the
+                    // schedule proceeds without it (matching a live
+                    // cluster, where the process is simply gone).
+                    if self.core.trace.active() {
+                        let now = self.core.now;
+                        self.core.trace.record(
+                            now,
+                            node,
+                            TraceKind::Note(format!("cmd at down node: {cmd:?}")),
+                        );
+                    }
+                } else {
+                    let mut ctx = Ctx {
+                        node,
+                        core: &mut self.core,
+                    };
+                    self.proto
+                        .on_command(&mut self.states[node.index()], cmd, &mut ctx);
+                }
             }
+            EventKind::Fault(ev) => self.apply_fault(ev),
         }
         true
     }
 
     fn dispatch_arrival(&mut self, node: NodeId, pkt: Packet<P::Msg>) {
+        if self.node_is_down(node) {
+            // The packet was already in flight when the node crashed (or
+            // routing still pointed here): it lands on a dead interface.
+            self.core.drop_packet(node, &pkt, DropReason::NodeDown);
+            return;
+        }
         let g = self.core.net.graph();
         if g.is_host(node) && pkt.dst != node {
             self.core
@@ -1040,5 +1237,148 @@ mod tests {
         let (mut k, a, ..) = kernel(true);
         k.run_until(Time(10));
         k.command_at(a, TestCmd::Arm, Time(5));
+    }
+
+    // --- fault injection ------------------------------------------------
+
+    /// h1 — a — b — h2 plus a pricier detour a — c — b, so there is a
+    /// path around both the a-b link and (for a↔b traffic) node c.
+    fn diamond() -> (Kernel<TestProto>, [NodeId; 5]) {
+        let mut g = Graph::new();
+        let a = g.add_router();
+        let b = g.add_router();
+        let c = g.add_router();
+        g.add_link(a, b, 2, 2);
+        g.add_link(a, c, 5, 5);
+        g.add_link(c, b, 5, 5);
+        let h1 = g.add_host(a, 1, 1);
+        let h2 = g.add_host(b, 1, 1);
+        (
+            Kernel::new(Network::new(g), TestProto, 0),
+            [a, b, c, h1, h2],
+        )
+    }
+
+    #[test]
+    fn link_down_reroutes_and_link_up_restores() {
+        let (mut k, [a, b, c, h1, h2]) = diamond();
+        k.install_faults(
+            &crate::fault::FaultPlan::new()
+                .link_down(Time(10), a, b)
+                .link_up(Time(100), a, b),
+        );
+        // Before the fault: direct path, delay 1 + 2 + 1 = 4.
+        k.command_at(h1, TestCmd::Ping { to: h2, tag: 1 }, Time::ZERO);
+        // During the outage: detour via c, delay 1 + 5 + 5 + 1 = 12.
+        k.command_at(h1, TestCmd::Ping { to: h2, tag: 2 }, Time(20));
+        // After restoration: direct again.
+        k.command_at(h1, TestCmd::Ping { to: h2, tag: 3 }, Time(200));
+        k.run_until(Time(300));
+        let d = &k.stats().deliveries;
+        assert_eq!(d.len(), 3);
+        assert_eq!(d[0].delay(), 4);
+        assert_eq!(d[1].delay(), 12);
+        assert_eq!(d[2].delay(), 4);
+        let links = k.stats().data_copies_per_link(2);
+        assert_eq!(links[&(a, c)], 1, "outage traffic detours through c");
+        assert_eq!(links.get(&(a, b)), None);
+    }
+
+    #[test]
+    fn packet_in_flight_on_cut_link_still_arrives() {
+        // The cut happens while a packet is mid-link: it left before the
+        // failure and is not retroactively destroyed.
+        let (mut k, [a, b, _, h1, h2]) = diamond();
+        k.command_at(h1, TestCmd::Ping { to: h2, tag: 1 }, Time::ZERO);
+        // h1→a arrives at t=1; a→b transmission departs at t=1, lands t=3.
+        k.schedule_fault(Time(2), FaultEvent::LinkDown { a, b });
+        k.run_until(Time(50));
+        assert_eq!(k.stats().deliveries.len(), 1);
+    }
+
+    #[test]
+    fn node_crash_wipes_state_and_drops_arrivals() {
+        let (mut k, [a, _, _, h1, h2]) = diamond();
+        // Seed some state and a pending self-rearming timer at a.
+        k.command_at(h1, TestCmd::Ping { to: h2, tag: 1 }, Time::ZERO);
+        k.command_at(a, TestCmd::Arm, Time::ZERO);
+        k.run_until(Time(11)); // first tick fired, second armed for t=20
+        assert_eq!(k.state(a).ticks, 1);
+        assert_eq!(k.state(a).seen, 1);
+        k.schedule_fault(Time(12), FaultEvent::NodeDown(a));
+        // A ping sent while a is down dies at a's dead interface (unicast
+        // reroutes around a for transit, but h1 is homed on a).
+        k.command_at(h1, TestCmd::Ping { to: h2, tag: 2 }, Time(20));
+        k.run_until(Time(50));
+        assert!(k.node_is_down(a));
+        assert_eq!(k.state(a).ticks, 0, "crash wiped state");
+        assert_eq!(k.state(a).seen, 0);
+        assert_eq!(
+            k.stats().deliveries.len(),
+            1,
+            "tag 2 died at the crashed access router"
+        );
+        // Restart: the node is blank but alive again.
+        k.schedule_fault(Time(60), FaultEvent::NodeUp(a));
+        k.command_at(h1, TestCmd::Ping { to: h2, tag: 3 }, Time(70));
+        k.run_until(Time(200));
+        assert!(!k.node_is_down(a));
+        assert_eq!(k.state(a).ticks, 0, "timers stay cancelled after restart");
+        assert_eq!(k.stats().deliveries.len(), 2, "tag 3 delivered");
+    }
+
+    #[test]
+    fn commands_at_down_nodes_are_ignored() {
+        let (mut k, [a, ..]) = diamond();
+        k.schedule_fault(Time(5), FaultEvent::NodeDown(a));
+        k.command_at(a, TestCmd::Arm, Time(10));
+        k.run_until(Time(100));
+        assert_eq!(k.state(a).ticks, 0);
+    }
+
+    #[test]
+    fn per_link_loss_draws_only_on_lossy_edges() {
+        // With p = 1.0 on a-b every direct transmission dies; unicast
+        // routing is unaware (the link is up), so nothing detours.
+        let (mut k, [a, b, _, h1, h2]) = diamond();
+        k.install_faults(&crate::fault::FaultPlan::new().with_link_loss(a, b, 1.0));
+        k.command_at(h1, TestCmd::Ping { to: h2, tag: 1 }, Time::ZERO);
+        k.run_until(Time(100));
+        assert_eq!(k.stats().deliveries.len(), 0);
+        assert_eq!(k.stats().drops, 1);
+        assert_eq!(
+            k.stats().data_copies_tagged(1),
+            2,
+            "h1→a and the lost a→b copy both occupied their links"
+        );
+    }
+
+    #[test]
+    fn empty_plan_changes_nothing() {
+        let run = |install: bool| {
+            let (mut k, [_, _, _, h1, h2]) = diamond();
+            if install {
+                k.install_faults(&crate::fault::FaultPlan::new());
+            }
+            k.command_at(h1, TestCmd::Ping { to: h2, tag: 1 }, Time::ZERO);
+            k.run_until(Time(100));
+            (
+                k.stats().deliveries.clone(),
+                k.stats().data_copies_tagged(1),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn fault_trace_notes_are_recorded() {
+        let (mut k, [a, b, ..]) = diamond();
+        k.enable_trace();
+        k.schedule_fault(Time(5), FaultEvent::LinkDown { a, b });
+        k.run_until(Time(10));
+        let trace = k.take_trace();
+        assert!(trace
+            .iter()
+            .any(|r| matches!(&r.what, TraceKind::Note(n) if n.starts_with("fault:"))));
     }
 }

@@ -37,6 +37,7 @@
 //! `StdRng` owned by the kernel.
 
 pub mod fasthash;
+pub mod fault;
 pub mod kernel;
 pub mod network;
 pub mod packet;
@@ -45,6 +46,7 @@ pub mod time;
 pub mod trace;
 
 pub use fasthash::{FastMap, FastSet, FxBuildHasher, FxHasher};
+pub use fault::{FaultEvent, FaultPlan};
 pub use kernel::{Ctx, DropReason, Kernel, KernelOps, LossModel, Protocol};
 pub use network::Network;
 pub use packet::{Packet, PacketClass};

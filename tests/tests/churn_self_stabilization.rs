@@ -1,0 +1,273 @@
+//! Self-stabilization under churn: after arbitrary joins, leaves and link
+//! failures followed by quiescence, the HBH tree must be *indistinguishable*
+//! from a tree built fresh on the surviving topology for the surviving
+//! members — same served set, same delivery delays, same tree cost. Soft
+//! state means history cannot leave a scar.
+//!
+//! Both halves are driven by the shared [`Script`] schedule type, and the
+//! churn figure module is pinned by a fixed-seed regression test.
+
+use hbh_proto::Hbh;
+use hbh_proto_base::membership::sample_receivers;
+use hbh_proto_base::{Channel, Cmd, Script, Timing};
+use hbh_routing::RoutingTables;
+use hbh_sim_core::{FaultEvent, Kernel, Network, Protocol, Time};
+use hbh_topo::graph::{Graph, NodeId};
+use hbh_topo::{costs, random};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+fn arb_network(seed: u64, routers: usize) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = random::gnp_with_avg_degree(routers, 3.0, &mut rng);
+    costs::assign_paper_costs(&mut g, &mut rng);
+    g
+}
+
+/// Probes a quiesced kernel once and returns `(delay per receiver, cost)`.
+fn probe<P: Protocol<Command = Cmd>>(
+    k: &mut Kernel<P>,
+    ch: Channel,
+) -> (BTreeMap<NodeId, u64>, u64) {
+    let t = k.now();
+    k.command_at(ch.source, Cmd::SendData { ch, tag: 9 }, t);
+    k.run_until(t + 4000);
+    let delays = k
+        .stats()
+        .deliveries_tagged(9)
+        .map(|d| (d.node, d.delay()))
+        .collect();
+    (delays, k.stats().data_copies_tagged(9))
+}
+
+/// Runs the kernel until no structural change happens for two full destroy
+/// periods (the same quiescence loop the experiment runner uses).
+fn quiesce<P: Protocol<Command = Cmd>>(k: &mut Kernel<P>, timing: &Timing) {
+    for _ in 0..8 {
+        let before = k.stats().structural_changes;
+        let until = k.now() + 2 * timing.t2;
+        k.run_until(until);
+        if k.stats().structural_changes == before {
+            break;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 10, .. ProptestConfig::default() })]
+
+    /// The headline property: churn + quiescence ≡ fresh build on the
+    /// surviving topology.
+    #[test]
+    fn healed_tree_equals_fresh_tree_on_surviving_topology(
+        seed in 0u64..10_000,
+        routers in 6usize..12,
+        group in 2usize..6,
+        leave_n in 0usize..3,
+        fail_picks in prop::collection::vec(0usize..64, 0..3),
+    ) {
+        let timing = Timing::default();
+        let graph = arb_network(seed, routers);
+        let hosts: Vec<NodeId> = graph.hosts().collect();
+        let source = hosts[0];
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFACE);
+        let receivers = sample_receivers(&hosts[1..], group.min(hosts.len() - 1), &mut rng);
+        let leave_n = leave_n.min(receivers.len() - 1);
+        let (leavers, survivors) = receivers.split_at(leave_n);
+
+        // Pick link failures that keep every survivor reachable; a pick
+        // that would cut a survivor off is simply not injected (soft state
+        // heals partitions too, but then "the same tree" is undefined).
+        let links = graph.undirected_links();
+        let mut edge_down = vec![false; graph.directed_edge_count()];
+        let mut failed_links = Vec::new();
+        let no_node_down = vec![false; graph.node_count()];
+        for pick in fail_picks {
+            let (a, b, _, _) = links[pick % links.len()];
+            let mut trial = edge_down.clone();
+            for (x, y) in [(a, b), (b, a)] {
+                let (eid, _) = graph.edge_entry(x, y).unwrap();
+                trial[eid.index()] = true;
+            }
+            let t = RoutingTables::compute_avoiding(&graph, &no_node_down, &trial);
+            let survivors_reachable = survivors
+                .iter()
+                .all(|&r| t.dist(source, r).is_some());
+            if survivors_reachable && !failed_links.contains(&(a, b)) {
+                edge_down = trial;
+                failed_links.push((a, b));
+            }
+        }
+
+        // The churn history, as one declarative script.
+        let ch = Channel::primary(source);
+        let join_window = receivers.len() as u64 * 60;
+        let t_fail = join_window + 400;
+        let t_leave = t_fail + 300;
+        let mut script = Script::new().start_source(Time::ZERO, ch);
+        for (i, &r) in receivers.iter().enumerate() {
+            script = script.join(Time(i as u64 * 60), r, ch);
+        }
+        for (i, &(a, b)) in failed_links.iter().enumerate() {
+            script = script.fail_link(Time(t_fail + i as u64 * 50), a, b);
+        }
+        for (i, &r) in leavers.iter().enumerate() {
+            script = script.leave(Time(t_leave + i as u64 * 30), r, ch);
+        }
+
+        let mut churned = Kernel::new(Network::new(graph.clone()), Hbh::new(timing), seed);
+        script.schedule(&mut churned);
+        churned.run_until(Time(timing.convergence_horizon(script.duration().0)));
+        quiesce(&mut churned, &timing);
+        let (churned_delays, churned_cost) = probe(&mut churned, ch);
+
+        // Fresh kernel on the surviving topology: same link-down routing
+        // tables, only the survivors ever join.
+        let tables = RoutingTables::compute_avoiding(&graph, &no_node_down, &edge_down);
+        let net = Network::with_tables(graph.clone(), tables);
+        let mut fresh = Kernel::new(net, Hbh::new(timing), seed);
+        let mut fresh_script = Script::new().start_source(Time::ZERO, ch);
+        for (i, &r) in survivors.iter().enumerate() {
+            fresh_script = fresh_script.join(Time(i as u64 * 60), r, ch);
+        }
+        fresh_script.schedule(&mut fresh);
+        fresh.run_until(Time(timing.convergence_horizon(fresh_script.duration().0)));
+        quiesce(&mut fresh, &timing);
+        let (fresh_delays, fresh_cost) = probe(&mut fresh, ch);
+
+        let mut expect: Vec<NodeId> = survivors.to_vec();
+        expect.sort();
+        let served: Vec<NodeId> = churned_delays.keys().copied().collect();
+        prop_assert_eq!(&served, &expect, "churned tree must serve exactly the survivors");
+        prop_assert_eq!(&churned_delays, &fresh_delays,
+            "healed tree delays differ from a fresh build (links failed: {:?})", failed_links);
+        prop_assert_eq!(churned_cost, fresh_cost,
+            "healed tree cost differs from a fresh build (links failed: {:?})", failed_links);
+    }
+}
+
+/// A script is one schedule, not one backend: replaying it through
+/// [`Script::schedule`] must be indistinguishable from issuing the same
+/// commands and faults by hand.
+#[test]
+fn script_schedule_matches_manual_scheduling() {
+    let timing = Timing::default();
+    let graph = hbh_topo::scenarios::fig1();
+    let n = |l: &str| graph.node_by_label(l).unwrap();
+    let (s, h2, r1, r4) = (n("S"), n("H2"), n("r1"), n("r4"));
+    let ch = Channel::primary(s);
+    let script = Script::new()
+        .start_source(Time::ZERO, ch)
+        .join(Time(50), r1, ch)
+        .join(Time(100), r4, ch)
+        .send(Time(1500), ch, 1)
+        .fail_node(Time(1600), h2)
+        .send(Time(1700), ch, 2)
+        .restore_node(Time(1900), h2)
+        .send(Time(4000), ch, 3);
+    let horizon = Time(timing.convergence_horizon(script.duration().0));
+
+    let mut scripted = Kernel::new(Network::new(graph.clone()), Hbh::new(timing), 7);
+    script.schedule(&mut scripted);
+    scripted.run_until(horizon);
+
+    let mut manual = Kernel::new(Network::new(graph.clone()), Hbh::new(timing), 7);
+    manual.command_at(s, Cmd::StartSource(ch), Time::ZERO);
+    manual.command_at(r1, Cmd::Join(ch), Time(50));
+    manual.command_at(r4, Cmd::Join(ch), Time(100));
+    manual.command_at(s, Cmd::SendData { ch, tag: 1 }, Time(1500));
+    manual.schedule_fault(Time(1600), FaultEvent::NodeDown(h2));
+    manual.command_at(s, Cmd::SendData { ch, tag: 2 }, Time(1700));
+    manual.schedule_fault(Time(1900), FaultEvent::NodeUp(h2));
+    manual.command_at(s, Cmd::SendData { ch, tag: 3 }, Time(4000));
+    manual.run_until(horizon);
+
+    for tag in [1, 2, 3] {
+        let collect = |k: &Kernel<Hbh>| -> Vec<(NodeId, u64)> {
+            k.stats()
+                .deliveries_tagged(tag)
+                .map(|d| (d.node, d.delay()))
+                .collect()
+        };
+        assert_eq!(
+            collect(&scripted),
+            collect(&manual),
+            "tag {tag} deliveries differ"
+        );
+        assert_eq!(
+            scripted.stats().data_copies_tagged(tag),
+            manual.stats().data_copies_tagged(tag)
+        );
+    }
+    assert_eq!(scripted.stats().drops, manual.stats().drops);
+    // The crash itself must have been visible: tag 2 misses r1.
+    let served2: Vec<NodeId> = scripted
+        .stats()
+        .deliveries_tagged(2)
+        .map(|d| d.node)
+        .collect();
+    assert!(!served2.contains(&r1), "r1 was served across a dead router");
+    assert!(
+        served2.contains(&r4),
+        "innocent receiver r4 must keep receiving"
+    );
+}
+
+/// Fixed-seed regression for the churn experiment: pins the repair
+/// behaviour end to end (victim choice, probe cadence, bookkeeping). Any
+/// change to these numbers is a behaviour change and must be deliberate.
+#[test]
+fn churn_experiment_pinned_seed_regression() {
+    use hbh_experiments::figures::churn::{evaluate, ChurnConfig};
+    use hbh_experiments::runner::RunConfig;
+
+    let cfg = ChurnConfig::from_run(&RunConfig::new().runs(2).seed(1));
+    let report = evaluate(&cfg);
+    assert_eq!(report.skipped, 0);
+    let [reunite, hbh] = &report.points[..] else {
+        panic!("expected the recursive-unicast pair");
+    };
+    for (name, p) in [("REUNITE", reunite), ("HBH", hbh)] {
+        assert_eq!(p.unrepaired, 0, "{name} failed to repair");
+        assert_eq!(p.unrecovered, 0, "{name} failed to recover");
+    }
+    assert_eq!(
+        hbh.perturbed.mean(),
+        0.0,
+        "HBH must not perturb innocent receivers"
+    );
+    // Pinned means: deterministic across runs, threads and platforms.
+    let pin = |s: &hbh_experiments::stats::Summary| (s.mean() * 1000.0).round();
+    let snapshot = [
+        pin(&reunite.repair_latency),
+        pin(&reunite.lost),
+        pin(&reunite.duplicates),
+        pin(&reunite.perturbed),
+        pin(&hbh.repair_latency),
+        pin(&hbh.lost),
+        pin(&hbh.duplicates),
+    ];
+    let again = evaluate(&cfg);
+    let again_snapshot = [
+        pin(&again.points[0].repair_latency),
+        pin(&again.points[0].lost),
+        pin(&again.points[0].duplicates),
+        pin(&again.points[0].perturbed),
+        pin(&again.points[1].repair_latency),
+        pin(&again.points[1].lost),
+        pin(&again.points[1].duplicates),
+    ];
+    assert_eq!(
+        snapshot, again_snapshot,
+        "churn evaluation must be deterministic"
+    );
+    // The absolute values, pinned. Update deliberately if the protocol,
+    // victim selection or probe cadence changes.
+    assert_eq!(snapshot, CHURN_PIN, "pinned churn numbers drifted");
+}
+
+/// `(mean × 1000).round()` for REUNITE `[repair, lost, dup, perturbed]`
+/// then HBH `[repair, lost, dup]`, at ISP topology, 2 runs, seed 1.
+const CHURN_PIN: [f64; 7] = [250000.0, 8500.0, 0.0, 0.0, 350000.0, 7500.0, 107000.0];

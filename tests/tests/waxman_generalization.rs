@@ -6,10 +6,11 @@ use hbh_experiments::figures::eval::{
     evaluate, hbh_advantage_over_reunite, health_violations, EvalConfig, Metric,
 };
 use hbh_experiments::protocols::ProtocolKind;
+use hbh_experiments::runner::RunConfig;
 use hbh_experiments::scenario::TopologyKind;
 
 fn cfg(runs: usize, sizes: Vec<usize>) -> EvalConfig {
-    let mut c = EvalConfig::paper(TopologyKind::Waxman30, runs);
+    let mut c = EvalConfig::from_run(&RunConfig::new().topo(TopologyKind::Waxman30).runs(runs));
     c.sizes = sizes;
     c
 }
