@@ -1,22 +1,79 @@
 //! Churn experiment — crash the busiest core router mid-session, measure
 //! tree repair latency, probe misses/duplicates during reconfiguration,
-//! and route perturbation of innocent receivers (HBH vs REUNITE).
+//! control-plane spend, and route perturbation of innocent receivers
+//! (REUNITE vs soft HBH vs hard-state HBH).
 //!
 //! ```text
 //! cargo run --release -p hbh-experiments --bin churn -- --runs 100
 //! cargo run --release -p hbh-experiments --bin churn -- --topo rand50 --runs 50
+//! cargo run --release -p hbh-experiments --bin churn -- --runs 2 --seed 1 \
+//!     --check ci/churn_tolerance.txt
 //! ```
 //!
-//! Prints the table and writes it to `results/churn.txt`. Exits nonzero if
-//! any protocol failed to restore full service after the router restarted.
+//! Prints the table and writes it to `results/churn.txt` plus the
+//! machine-readable `results/churn.json`. Exits nonzero if any protocol
+//! failed to restore full service after the router restarted, or if a
+//! `--check` tolerance is violated.
+//!
+//! ## `--check FILE`
+//!
+//! `FILE` is a plain-text tolerance sheet for regression gating (CI runs
+//! it at a pinned seed). Lines are `#` comments or:
+//!
+//! ```text
+//! max_repair <PROTOCOL> <mean>   # mean repair latency must be <= mean
+//! faster <A> <B>                 # A's mean repair must be strictly < B's
+//! ```
 
-use hbh_experiments::figures::churn::{evaluate, render, ChurnConfig};
+use hbh_experiments::figures::churn::{evaluate, render, render_json, ChurnConfig, ChurnReport};
 use hbh_experiments::report::Args;
 use hbh_experiments::runner::RunConfig;
+
+/// Applies the tolerance sheet; returns human-readable violations.
+fn check_tolerances(sheet: &str, cfg: &ChurnConfig, report: &ChurnReport) -> Vec<String> {
+    let mean_of = |name: &str| -> Option<f64> {
+        cfg.protocols
+            .iter()
+            .position(|k| k.name() == name)
+            .map(|i| report.points[i].repair_latency.mean())
+    };
+    let mut violations = Vec::new();
+    for (lineno, line) in sheet.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields.as_slice() {
+            ["max_repair", proto, bound] => {
+                let bound: f64 = bound
+                    .parse()
+                    .unwrap_or_else(|_| panic!("line {}: bad bound {bound}", lineno + 1));
+                match mean_of(proto) {
+                    Some(mean) if mean <= bound => {}
+                    Some(mean) => violations.push(format!(
+                        "{proto}: mean repair latency {mean:.0} exceeds tolerance {bound:.0}"
+                    )),
+                    None => violations.push(format!("{proto}: not an arm of this run")),
+                }
+            }
+            ["faster", a, b] => match (mean_of(a), mean_of(b)) {
+                (Some(ma), Some(mb)) if ma < mb => {}
+                (Some(ma), Some(mb)) => violations.push(format!(
+                    "{a} (mean {ma:.0}) must repair strictly faster than {b} (mean {mb:.0})"
+                )),
+                _ => violations.push(format!("faster {a} {b}: arm missing from this run")),
+            },
+            _ => panic!("line {}: unrecognized tolerance rule: {line}", lineno + 1),
+        }
+    }
+    violations
+}
 
 fn main() {
     let mut allowed: Vec<&str> = RunConfig::STANDARD_ARGS.to_vec();
     allowed.push("group");
+    allowed.push("check");
     let args = Args::parse(&allowed);
     let mut cfg = ChurnConfig::from_run(&RunConfig::from_args(&args, 100));
     cfg.group_size = args.get_parse("group", cfg.group_size);
@@ -29,7 +86,9 @@ fn main() {
     std::fs::create_dir_all("results").expect("create results/");
     let path = "results/churn.txt";
     std::fs::write(path, format!("{rendered}\n")).expect("write churn report");
-    println!("# written to {path}");
+    let json_path = "results/churn.json";
+    std::fs::write(json_path, render_json(&cfg, &report)).expect("write churn json");
+    println!("# written to {path} and {json_path}");
 
     for (kind, p) in cfg.protocols.iter().zip(&report.points) {
         if p.unrecovered > 0 {
@@ -40,5 +99,18 @@ fn main() {
             );
             std::process::exit(1);
         }
+    }
+
+    if let Some(sheet_path) = args.get("check") {
+        let sheet = std::fs::read_to_string(sheet_path)
+            .unwrap_or_else(|e| panic!("read tolerance sheet {sheet_path}: {e}"));
+        let violations = check_tolerances(&sheet, &cfg, &report);
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("TOLERANCE VIOLATION: {v}");
+            }
+            std::process::exit(1);
+        }
+        println!("# tolerances OK ({sheet_path})");
     }
 }

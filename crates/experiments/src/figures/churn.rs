@@ -96,10 +96,48 @@ pub struct ChurnOutcome {
     pub perturbed: usize,
     /// All receivers served again after the victim restarted?
     pub recovered: bool,
+    /// Control-message link copies spent between the crash and the end of
+    /// the repair window (soft state pays periodic refreshes here; hard
+    /// state pays probes, repair joins and retransmissions).
+    pub control: u64,
+    /// Reliable-layer retransmissions over the same window (zero by
+    /// construction for engines without a reliable layer).
+    pub retransmits: u64,
+    /// Protocol state bytes per router on the repaired tree (victim still
+    /// down) — the memory price of whatever repair strategy was used.
+    pub state_bytes: f64,
 }
 
 struct ChurnStudy {
     victim: NodeId,
+}
+
+/// Total reliable-layer retransmissions across all nodes (zero for
+/// engines without a reliable layer).
+fn total_retransmits<P>(k: &Kernel<P>) -> u64
+where
+    P: Protocol<Command = Cmd>,
+    P::NodeState: hbh_proto_base::StateInventory,
+{
+    use hbh_proto_base::StateInventory;
+    k.network()
+        .graph()
+        .nodes()
+        .filter_map(|n| k.state(n).reliable_stats())
+        .map(|s| s.retransmits)
+        .sum()
+}
+
+/// Mean protocol state bytes per router for `ch`.
+fn state_bytes_per_router<P>(k: &Kernel<P>, ch: Channel) -> f64
+where
+    P: Protocol<Command = Cmd>,
+    P::NodeState: hbh_proto_base::StateInventory,
+{
+    use hbh_proto_base::StateInventory;
+    let routers: Vec<NodeId> = k.network().graph().routers().collect();
+    let total: usize = routers.iter().map(|&r| k.state(r).state_bytes(ch)).sum();
+    total as f64 / routers.len().max(1) as f64
 }
 
 impl Study for ChurnStudy {
@@ -128,6 +166,8 @@ impl Study for ChurnStudy {
         let t_fail = k.now() + 1;
         k.schedule_fault(t_fail, FaultEvent::NodeDown(self.victim));
         k.run_until(t_fail);
+        let control_before = k.stats().control_copies();
+        let rtx_before = total_retransmits(&k);
 
         // Probe once per tree period until every receiver is served again.
         // Soft state can take a couple of destroy timeouts to flush stale
@@ -157,6 +197,10 @@ impl Study for ChurnStudy {
             k.run_until(inject + timing.tree_period);
         }
 
+        let control = k.stats().control_copies() - control_before;
+        let retransmits = total_retransmits(&k) - rtx_before;
+        let state_bytes = state_bytes_per_router(&k, ch);
+
         // Route perturbation of innocents, measured on the repaired tree
         // (victim still down): their unicast shortest paths are untouched
         // by the crash, so any change is protocol-induced.
@@ -183,6 +227,9 @@ impl Study for ChurnStudy {
             innocent: innocent.len(),
             perturbed,
             recovered,
+            control,
+            retransmits,
+            state_bytes,
         }
     }
 }
@@ -206,6 +253,12 @@ pub struct ChurnPoint {
     pub duplicates: Summary,
     /// Perturbed innocent receivers per run.
     pub perturbed: Summary,
+    /// Control-message link copies over the repair window.
+    pub control: Summary,
+    /// Reliable-layer retransmissions over the repair window.
+    pub retransmits: Summary,
+    /// State bytes per router on the repaired tree.
+    pub state_bytes: Summary,
     /// Runs where the tree never fully re-formed within the budget.
     pub unrepaired: u64,
     /// Runs where service was not fully restored after the restart.
@@ -223,8 +276,9 @@ pub struct ChurnConfig {
 
 impl ChurnConfig {
     /// Churn view of a shared [`crate::runner::RunConfig`]: fixed paper
-    /// group size of 8 and the recursive-unicast pair (HBH vs REUNITE —
-    /// the protocols whose repair behaviour the paper argues about);
+    /// group size of 8 and the three churn arms (REUNITE and HBH — the
+    /// soft-state pair whose repair behaviour the paper argues about —
+    /// plus the hard-state HBH variant they are measured against);
     /// topology, runs, seed and timing carried over.
     pub fn from_run(run: &crate::runner::RunConfig) -> Self {
         ChurnConfig {
@@ -233,7 +287,7 @@ impl ChurnConfig {
             runs: run.runs,
             base_seed: run.base_seed,
             timing: run.timing,
-            protocols: ProtocolKind::RECURSIVE_UNICAST.to_vec(),
+            protocols: ProtocolKind::CHURN_ARMS.to_vec(),
         }
     }
 }
@@ -277,6 +331,9 @@ pub fn evaluate(cfg: &ChurnConfig) -> ChurnReport {
             p.lost.add(o.lost as f64);
             p.duplicates.add(o.duplicates as f64);
             p.perturbed.add(o.perturbed as f64);
+            p.control.add(o.control as f64);
+            p.retransmits.add(o.retransmits as f64);
+            p.state_bytes.add(o.state_bytes);
             if !o.recovered {
                 p.unrecovered += 1;
             }
@@ -328,6 +385,27 @@ pub fn render(cfg: &ChurnConfig, report: &ChurnReport) -> Table {
             .collect(),
     );
     t.row(
+        "control msgs (repair)",
+        points
+            .iter()
+            .map(|p| Table::cell(p.control.mean(), p.control.ci95()))
+            .collect(),
+    );
+    t.row(
+        "retransmissions",
+        points
+            .iter()
+            .map(|p| Table::cell(p.retransmits.mean(), p.retransmits.ci95()))
+            .collect(),
+    );
+    t.row(
+        "state bytes/router",
+        points
+            .iter()
+            .map(|p| Table::cell(p.state_bytes.mean(), p.state_bytes.ci95()))
+            .collect(),
+    );
+    t.row(
         "unrepaired runs",
         points
             .iter()
@@ -342,6 +420,71 @@ pub fn render(cfg: &ChurnConfig, report: &ChurnReport) -> Table {
             .collect(),
     );
     t
+}
+
+/// Machine-readable report: one JSON object per protocol arm, with the
+/// run parameters alongside so a consumer can tell two sweeps apart.
+/// Hand-rolled (the workspace deliberately carries no JSON dependency);
+/// every value is a finite number or an integer, so no escaping issues
+/// arise beyond the protocol names, which are static ASCII.
+pub fn render_json(cfg: &ChurnConfig, report: &ChurnReport) -> String {
+    fn num(x: f64) -> String {
+        if x.is_finite() {
+            format!("{x:.3}")
+        } else {
+            "null".to_string()
+        }
+    }
+    let mut arms = Vec::new();
+    for (kind, p) in cfg.protocols.iter().zip(&report.points) {
+        arms.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"protocol\": \"{}\",\n",
+                "      \"repair_latency_mean\": {},\n",
+                "      \"repair_latency_ci95\": {},\n",
+                "      \"probe_misses_mean\": {},\n",
+                "      \"duplicates_mean\": {},\n",
+                "      \"perturbed_innocents_mean\": {},\n",
+                "      \"control_msgs_mean\": {},\n",
+                "      \"retransmissions_mean\": {},\n",
+                "      \"state_bytes_per_router_mean\": {},\n",
+                "      \"unrepaired_runs\": {},\n",
+                "      \"unrecovered_runs\": {}\n",
+                "    }}"
+            ),
+            kind.name(),
+            num(p.repair_latency.mean()),
+            num(p.repair_latency.ci95()),
+            num(p.lost.mean()),
+            num(p.duplicates.mean()),
+            num(p.perturbed.mean()),
+            num(p.control.mean()),
+            num(p.retransmits.mean()),
+            num(p.state_bytes.mean()),
+            p.unrepaired,
+            p.unrecovered,
+        ));
+    }
+    format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"churn\",\n",
+            "  \"topology\": \"{}\",\n",
+            "  \"group_size\": {},\n",
+            "  \"runs\": {},\n",
+            "  \"base_seed\": {},\n",
+            "  \"skipped_runs\": {},\n",
+            "  \"arms\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        cfg.topo.name(),
+        cfg.group_size,
+        cfg.runs,
+        cfg.base_seed,
+        report.skipped,
+        arms.join(",\n")
+    )
 }
 
 #[cfg(test)]

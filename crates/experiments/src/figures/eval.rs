@@ -58,11 +58,6 @@ impl EvalConfig {
             protocols: run.protocols.clone(),
         }
     }
-
-    #[deprecated(note = "build a runner::RunConfig and use EvalConfig::from_run")]
-    pub fn paper(topo: TopologyKind, runs: usize) -> Self {
-        EvalConfig::from_run(&crate::runner::RunConfig::new().topo(topo).runs(runs))
-    }
 }
 
 /// Per-protocol aggregates at one group size.
@@ -227,17 +222,6 @@ mod tests {
         let mut cfg = EvalConfig::from_run(&crate::runner::RunConfig::new().runs(6));
         cfg.sizes = vec![4, 10];
         cfg
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_paper_constructor_matches_from_run() {
-        let old = EvalConfig::paper(TopologyKind::Isp, 6);
-        let new = EvalConfig::from_run(&crate::runner::RunConfig::new().runs(6));
-        assert_eq!(old.sizes, new.sizes);
-        assert_eq!(old.base_seed, new.base_seed);
-        assert_eq!(old.runs, new.runs);
-        assert_eq!(old.protocols, new.protocols);
     }
 
     #[test]

@@ -115,11 +115,6 @@ impl StabilityConfig {
             protocols: run.protocols.clone(),
         }
     }
-
-    #[deprecated(note = "build a runner::RunConfig and use StabilityConfig::from_run")]
-    pub fn default_with_runs(runs: usize) -> Self {
-        StabilityConfig::from_run(&crate::runner::RunConfig::new().runs(runs))
-    }
 }
 
 pub fn evaluate(cfg: &StabilityConfig) -> Vec<StabilityPoint> {

@@ -3,7 +3,7 @@
 use crate::runner::{run_probe, ProbeOutcome};
 use crate::scenario::Scenario;
 use hbh_pim::Pim;
-use hbh_proto::Hbh;
+use hbh_proto::{Hbh, HbhHard};
 use hbh_proto_base::Timing;
 use hbh_reunite::Reunite;
 use hbh_topo::graph::NodeId;
@@ -21,10 +21,15 @@ pub enum ProtocolKind {
     Reunite,
     /// HBH (the paper's contribution).
     Hbh,
+    /// Hard-state HBH: same trees, but state is kept until explicitly
+    /// torn down and every control message rides the reliable layer. Not
+    /// one of the paper's four — it exists for the robustness studies —
+    /// so it is deliberately absent from [`ProtocolKind::ALL`].
+    HbhHard,
 }
 
 impl ProtocolKind {
-    /// All four, in the paper's legend order.
+    /// The paper's four, in its legend order.
     pub const ALL: [ProtocolKind; 4] = [
         ProtocolKind::PimSm,
         ProtocolKind::PimSs,
@@ -36,12 +41,21 @@ impl ProtocolKind {
     /// routers — the clouds ablation runs only these).
     pub const RECURSIVE_UNICAST: [ProtocolKind; 2] = [ProtocolKind::Reunite, ProtocolKind::Hbh];
 
+    /// The churn-study arms: the paper's recursive-unicast pair plus the
+    /// hard-state variant whose event-driven repair they are compared to.
+    pub const CHURN_ARMS: [ProtocolKind; 3] = [
+        ProtocolKind::Reunite,
+        ProtocolKind::Hbh,
+        ProtocolKind::HbhHard,
+    ];
+
     pub fn name(self) -> &'static str {
         match self {
             ProtocolKind::PimSm => "PIM-SM",
             ProtocolKind::PimSs => "PIM-SS",
             ProtocolKind::Reunite => "REUNITE",
             ProtocolKind::Hbh => "HBH",
+            ProtocolKind::HbhHard => "HBH-HARD",
         }
     }
 }
@@ -140,6 +154,10 @@ pub fn dispatch<S: Study>(
             let (k, ch) = build_kernel(Hbh::new(*timing), scenario);
             study.run(k, ch, scenario, timing)
         }
+        ProtocolKind::HbhHard => {
+            let (k, ch) = build_kernel(HbhHard::new(*timing), scenario);
+            study.run(k, ch, scenario, timing)
+        }
         ProtocolKind::Reunite => {
             let (k, ch) = build_kernel(Reunite::new(*timing), scenario);
             study.run(k, ch, scenario, timing)
@@ -159,6 +177,7 @@ pub fn dispatch<S: Study>(
 pub fn run_protocol(kind: ProtocolKind, scenario: &Scenario, timing: &Timing) -> ProbeOutcome {
     match kind {
         ProtocolKind::Hbh => run_probe(Hbh::new(*timing), scenario, timing),
+        ProtocolKind::HbhHard => run_probe(HbhHard::new(*timing), scenario, timing),
         ProtocolKind::Reunite => run_probe(Reunite::new(*timing), scenario, timing),
         ProtocolKind::PimSs => run_probe(Pim::source_specific(*timing), scenario, timing),
         ProtocolKind::PimSm => run_probe(
@@ -180,6 +199,7 @@ pub fn run_protocol_isolated(
     use crate::runner::run_probe_isolated;
     match kind {
         ProtocolKind::Hbh => run_probe_isolated(Hbh::new(*timing), scenario, timing),
+        ProtocolKind::HbhHard => run_probe_isolated(HbhHard::new(*timing), scenario, timing),
         ProtocolKind::Reunite => run_probe_isolated(Reunite::new(*timing), scenario, timing),
         ProtocolKind::PimSs => run_probe_isolated(Pim::source_specific(*timing), scenario, timing),
         ProtocolKind::PimSm => run_probe_isolated(

@@ -48,16 +48,22 @@
 //! numbers of the paper's Figure 9 cited inline.
 
 pub mod engine;
+pub mod hard;
 pub mod messages;
 pub mod tables;
 
 pub use engine::{Hbh, HbhNodeState};
+pub use hard::{HardCtl, HardMft, HardMsg, HardNodeState, HardTimer, HbhHard};
 pub use messages::{HbhMsg, HbhTimer};
 pub use tables::{HbhMct, HbhMft};
 
 #[cfg(test)]
 #[path = "engine_tests.rs"]
 mod engine_tests;
+
+#[cfg(test)]
+#[path = "hard_tests.rs"]
+mod hard_tests;
 
 #[cfg(test)]
 #[path = "table_proptests.rs"]

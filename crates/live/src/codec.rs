@@ -34,6 +34,18 @@ impl LiveMsg for hbh_proto::HbhMsg {
     }
 }
 
+impl LiveMsg for hbh_proto::HardMsg {
+    fn to_wire(&self) -> WireMsg {
+        WireMsg::HbhHard(self.clone())
+    }
+    fn from_wire(w: WireMsg) -> Option<Self> {
+        match w {
+            WireMsg::HbhHard(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
 impl LiveMsg for hbh_reunite::ReuniteMsg {
     fn to_wire(&self) -> WireMsg {
         WireMsg::Reunite(*self)

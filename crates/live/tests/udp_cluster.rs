@@ -2,7 +2,7 @@
 //! engines build their trees and deliver data between actual sockets.
 
 use hbh_live::{Cluster, LiveTiming};
-use hbh_proto::Hbh;
+use hbh_proto::{Hbh, HbhHard};
 use hbh_proto_base::{Channel, Cmd, Script};
 use hbh_reunite::Reunite;
 use hbh_sim_core::Time;
@@ -129,6 +129,52 @@ fn scripted_router_crash_heals_over_udp() {
         nodes_for(3),
         HashSet::from([r1, r4]),
         "post-repair: {got:?}"
+    );
+    cluster.shutdown();
+}
+
+#[test]
+fn hard_engine_scripted_crash_heals_over_udp() {
+    // The same scripted crash as above, run against the hard-state engine:
+    // its repair is event-driven (probe give-up, not refresh decay), so
+    // recovery after the restart comes from the rejoin retry ladder and
+    // the reliable control plane, not from periodic tree refreshes.
+    let graph = scenarios::fig1();
+    let n = |l: &str| graph.node_by_label(l).unwrap();
+    let (s, h2, r1, r4) = (n("S"), n("H2"), n("r1"), n("r4"));
+    let timing = LiveTiming::fast().0;
+    let cluster = Cluster::launch(graph, || HbhHard::new(timing)).unwrap();
+    let ch = Channel::primary(s);
+
+    let c = converge_ms();
+    let script = Script::new()
+        .start_source(Time(0), ch)
+        .join(Time(40), r1, ch)
+        .join(Time(80), r4, ch)
+        .send(Time(c), ch, 1)
+        .fail_node(Time(c + 150), h2)
+        .send(Time(c + 300), ch, 2)
+        .restore_node(Time(c + 450), h2)
+        .send(Time(2 * c + 450), ch, 3);
+    cluster.run_script(&script);
+
+    let got = cluster.wait_deliveries(5, Duration::from_secs(3));
+    let nodes_for = |tag: u64| -> HashSet<NodeId> {
+        got.iter()
+            .filter(|d| d.tag == tag)
+            .map(|d| d.node)
+            .collect()
+    };
+    assert_eq!(nodes_for(1), HashSet::from([r1, r4]), "pre-crash: {got:?}");
+    assert_eq!(
+        nodes_for(2),
+        HashSet::from([r4]),
+        "fig1 is a tree, so r1 has no detour while H2 is down: {got:?}"
+    );
+    assert_eq!(
+        nodes_for(3),
+        HashSet::from([r1, r4]),
+        "post-restart the rejoin ladder must rebuild H2's blank state: {got:?}"
     );
     cluster.shutdown();
 }

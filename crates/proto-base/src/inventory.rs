@@ -8,6 +8,7 @@
 //! protocols' state footprints directly.
 
 use crate::channel::Channel;
+use crate::reliable::ReliableStats;
 
 /// Per-node protocol-state accounting.
 pub trait StateInventory {
@@ -18,4 +19,21 @@ pub trait StateInventory {
     /// Control-plane-only entries for `ch` (MCT entries). PIM has none —
     /// all its per-group state is forwarding state.
     fn control_entries(&self, ch: Channel) -> usize;
+
+    /// Approximate bytes of per-channel protocol state, for footprint
+    /// comparisons across engines with different entry shapes. The
+    /// default charges a forwarding entry as a node id plus timers and
+    /// cover set headroom, and a control entry as a node id plus timer —
+    /// engines with heavier entries (e.g. reliability bookkeeping)
+    /// override this.
+    fn state_bytes(&self, ch: Channel) -> usize {
+        24 * self.forwarding_entries(ch) + 12 * self.control_entries(ch)
+    }
+
+    /// Reliable-control-layer counters, when this engine runs one.
+    /// Engines without a reliable layer report `None`; experiments then
+    /// score them zero retransmissions by construction.
+    fn reliable_stats(&self) -> Option<ReliableStats> {
+        None
+    }
 }

@@ -31,6 +31,7 @@ pub mod channel;
 pub mod command;
 pub mod inventory;
 pub mod membership;
+pub mod reliable;
 pub mod script;
 pub mod softstate;
 pub mod timing;
@@ -38,6 +39,7 @@ pub mod timing;
 pub use channel::{Channel, GroupAddr};
 pub use command::Cmd;
 pub use inventory::StateInventory;
+pub use reliable::{Outstanding, ReliableConfig, ReliableState, ReliableStats, RtxVerdict};
 pub use script::{Script, ScriptAction};
 pub use softstate::{EntryPhase, SoftEntry};
 pub use timing::Timing;

@@ -997,6 +997,13 @@ impl<P: Protocol> Kernel<P> {
     pub fn protocol(&self) -> &P {
         &self.proto
     }
+
+    /// Number of live (armed, not superseded, not cancelled) timers across
+    /// all nodes. Robustness tests assert this returns to a small steady
+    /// value after fault storms — a growing count is a timer leak.
+    pub fn pending_timer_count(&self) -> usize {
+        self.core.timer_ids.len()
+    }
 }
 
 #[cfg(test)]

@@ -2,14 +2,16 @@
 
 use crate::format::{flags, MsgType, Reader, Writer, HEADER_LEN, MAGIC, MAX_BODY, VERSION};
 use hbh_pim::PimMsg;
-use hbh_proto::HbhMsg;
+use hbh_proto::{HardCtl, HardMsg, HbhMsg};
 use hbh_reunite::ReuniteMsg;
 
-/// Any control/data message of the three protocol families.
+/// Any control/data message of the protocol families.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum WireMsg {
     /// An HBH control/data message.
     Hbh(HbhMsg),
+    /// A hard-state HBH message (sequenced control, ACK or data).
+    HbhHard(HardMsg),
     /// A REUNITE control/data message.
     Reunite(ReuniteMsg),
     /// A PIM control/data message.
@@ -117,6 +119,70 @@ fn encode_body(msg: &WireMsg) -> (MsgType, u8, Vec<u8>) {
             HbhMsg::Data { ch } => {
                 w.channel(*ch);
                 (MsgType::HbhData, 0, w.into_bytes())
+            }
+        },
+        WireMsg::HbhHard(m) => match m {
+            HardMsg::Ctl { origin, seq, ctl } => {
+                // Common reliability header, then the per-kind body.
+                w.node(*origin);
+                w.u64(*seq);
+                w.channel(ctl.channel());
+                match ctl {
+                    HardCtl::Join { who, failed, .. } => {
+                        w.node(*who);
+                        if let Some(dead) = failed {
+                            w.node(*dead);
+                        }
+                        (
+                            MsgType::HbhHardJoin,
+                            if failed.is_some() { flags::FAILED } else { 0 },
+                            w.into_bytes(),
+                        )
+                    }
+                    HardCtl::Leave { who, .. } => {
+                        w.node(*who);
+                        (MsgType::HbhHardLeave, 0, w.into_bytes())
+                    }
+                    HardCtl::Prune { who, .. } => {
+                        w.node(*who);
+                        (MsgType::HbhHardPrune, 0, w.into_bytes())
+                    }
+                    HardCtl::Tree { target, .. } => {
+                        w.node(*target);
+                        (MsgType::HbhHardTree, 0, w.into_bytes())
+                    }
+                    HardCtl::Fusion { from, nodes, .. } => {
+                        w.node(*from);
+                        w.u16(nodes.len() as u16);
+                        for n in nodes {
+                            w.node(*n);
+                        }
+                        (MsgType::HbhHardFusion, 0, w.into_bytes())
+                    }
+                    HardCtl::Probe { who, .. } => {
+                        w.node(*who);
+                        (MsgType::HbhHardProbe, 0, w.into_bytes())
+                    }
+                }
+            }
+            HardMsg::Ack {
+                origin,
+                seq,
+                by,
+                known,
+            } => {
+                w.node(*origin);
+                w.u64(*seq);
+                w.node(*by);
+                (
+                    MsgType::HbhHardAck,
+                    if *known { flags::SERVES } else { 0 },
+                    w.into_bytes(),
+                )
+            }
+            HardMsg::Data { ch } => {
+                w.channel(*ch);
+                (MsgType::HbhHardData, 0, w.into_bytes())
             }
         },
         WireMsg::Reunite(m) => match m {
@@ -252,6 +318,84 @@ fn decode_typed(ty: MsgType, flag_bits: u8, r: &mut Reader<'_>) -> Result<WireMs
             flag_ok(0)?;
             WireMsg::Hbh(HbhMsg::Data { ch: r.channel()? })
         }
+        MsgType::HbhHardJoin => {
+            flag_ok(flags::FAILED)?;
+            let origin = r.node()?;
+            let seq = r.u64()?;
+            let ch = r.channel()?;
+            let who = r.node()?;
+            let failed = if flag_bits & flags::FAILED != 0 {
+                Some(r.node()?)
+            } else {
+                None
+            };
+            WireMsg::HbhHard(HardMsg::Ctl {
+                origin,
+                seq,
+                ctl: HardCtl::Join { ch, who, failed },
+            })
+        }
+        MsgType::HbhHardLeave | MsgType::HbhHardPrune | MsgType::HbhHardProbe => {
+            flag_ok(0)?;
+            let origin = r.node()?;
+            let seq = r.u64()?;
+            let ch = r.channel()?;
+            let who = r.node()?;
+            let ctl = match ty {
+                MsgType::HbhHardLeave => HardCtl::Leave { ch, who },
+                MsgType::HbhHardPrune => HardCtl::Prune { ch, who },
+                _ => HardCtl::Probe { ch, who },
+            };
+            WireMsg::HbhHard(HardMsg::Ctl { origin, seq, ctl })
+        }
+        MsgType::HbhHardTree => {
+            flag_ok(0)?;
+            let origin = r.node()?;
+            let seq = r.u64()?;
+            let ch = r.channel()?;
+            let target = r.node()?;
+            WireMsg::HbhHard(HardMsg::Ctl {
+                origin,
+                seq,
+                ctl: HardCtl::Tree { ch, target },
+            })
+        }
+        MsgType::HbhHardFusion => {
+            flag_ok(0)?;
+            let origin = r.node()?;
+            let seq = r.u64()?;
+            let ch = r.channel()?;
+            let from = r.node()?;
+            let count = r.u16()? as usize;
+            if r.remaining() != count * 4 {
+                return Err(WireError::BadListLength);
+            }
+            let mut nodes = Vec::with_capacity(count);
+            for _ in 0..count {
+                nodes.push(r.node()?);
+            }
+            WireMsg::HbhHard(HardMsg::Ctl {
+                origin,
+                seq,
+                ctl: HardCtl::Fusion { ch, from, nodes },
+            })
+        }
+        MsgType::HbhHardAck => {
+            flag_ok(flags::SERVES)?;
+            let origin = r.node()?;
+            let seq = r.u64()?;
+            let by = r.node()?;
+            WireMsg::HbhHard(HardMsg::Ack {
+                origin,
+                seq,
+                by,
+                known: flag_bits & flags::SERVES != 0,
+            })
+        }
+        MsgType::HbhHardData => {
+            flag_ok(0)?;
+            WireMsg::HbhHard(HardMsg::Data { ch: r.channel()? })
+        }
         MsgType::ReuniteJoin => {
             flag_ok(flags::INITIAL)?;
             let ch = r.channel()?;
@@ -343,6 +487,78 @@ mod tests {
                 nodes: vec![],
             }),
             WireMsg::Hbh(HbhMsg::Data { ch: ch() }),
+            WireMsg::HbhHard(HardMsg::Ctl {
+                origin: NodeId(3),
+                seq: 0x0102_0304_0506_0708,
+                ctl: HardCtl::Join {
+                    ch: ch(),
+                    who: NodeId(3),
+                    failed: Some(NodeId(12)),
+                },
+            }),
+            WireMsg::HbhHard(HardMsg::Ctl {
+                origin: NodeId(3),
+                seq: 1,
+                ctl: HardCtl::Join {
+                    ch: ch(),
+                    who: NodeId(3),
+                    failed: None,
+                },
+            }),
+            WireMsg::HbhHard(HardMsg::Ctl {
+                origin: NodeId(4),
+                seq: 2,
+                ctl: HardCtl::Leave {
+                    ch: ch(),
+                    who: NodeId(4),
+                },
+            }),
+            WireMsg::HbhHard(HardMsg::Ctl {
+                origin: NodeId(18),
+                seq: 3,
+                ctl: HardCtl::Prune {
+                    ch: ch(),
+                    who: NodeId(9),
+                },
+            }),
+            WireMsg::HbhHard(HardMsg::Ctl {
+                origin: NodeId(18),
+                seq: 4,
+                ctl: HardCtl::Tree {
+                    ch: ch(),
+                    target: NodeId(9),
+                },
+            }),
+            WireMsg::HbhHard(HardMsg::Ctl {
+                origin: NodeId(5),
+                seq: 5,
+                ctl: HardCtl::Fusion {
+                    ch: ch(),
+                    from: NodeId(5),
+                    nodes: vec![NodeId(1), NodeId(2)],
+                },
+            }),
+            WireMsg::HbhHard(HardMsg::Ctl {
+                origin: NodeId(9),
+                seq: 6,
+                ctl: HardCtl::Probe {
+                    ch: ch(),
+                    who: NodeId(9),
+                },
+            }),
+            WireMsg::HbhHard(HardMsg::Ack {
+                origin: NodeId(9),
+                seq: 6,
+                by: NodeId(5),
+                known: true,
+            }),
+            WireMsg::HbhHard(HardMsg::Ack {
+                origin: NodeId(9),
+                seq: 7,
+                by: NodeId(5),
+                known: false,
+            }),
+            WireMsg::HbhHard(HardMsg::Data { ch: ch() }),
             WireMsg::Reunite(ReuniteMsg::Join {
                 ch: ch(),
                 receiver: NodeId(4),

@@ -30,6 +30,16 @@ pub enum MsgType {
     ReuniteData = 0x14,
     PimJoin = 0x21,
     PimData = 0x24,
+    // 0x3x — hard-state HBH: sequenced control (each carrying the
+    // origin's (node, seq) reliability header), the ACK, and plain data.
+    HbhHardJoin = 0x31,
+    HbhHardLeave = 0x32,
+    HbhHardPrune = 0x33,
+    HbhHardTree = 0x34,
+    HbhHardFusion = 0x35,
+    HbhHardProbe = 0x36,
+    HbhHardAck = 0x37,
+    HbhHardData = 0x38,
 }
 
 impl MsgType {
@@ -45,6 +55,14 @@ impl MsgType {
             0x14 => MsgType::ReuniteData,
             0x21 => MsgType::PimJoin,
             0x24 => MsgType::PimData,
+            0x31 => MsgType::HbhHardJoin,
+            0x32 => MsgType::HbhHardLeave,
+            0x33 => MsgType::HbhHardPrune,
+            0x34 => MsgType::HbhHardTree,
+            0x35 => MsgType::HbhHardFusion,
+            0x36 => MsgType::HbhHardProbe,
+            0x37 => MsgType::HbhHardAck,
+            0x38 => MsgType::HbhHardData,
             _ => return None,
         })
     }
@@ -57,8 +75,12 @@ pub mod flags {
     pub const INITIAL: u8 = 0b0000_0001;
     /// REUNITE tree: marked (stale-propagation).
     pub const MARKED: u8 = 0b0000_0010;
+    /// Hard-HBH join: a failed-node hint rides in the body.
+    pub const FAILED: u8 = 0b0000_0100;
+    /// Hard-HBH ACK: the acker still serves the probing origin.
+    pub const SERVES: u8 = 0b0000_1000;
     /// All bits a valid encoder may set.
-    pub const KNOWN: u8 = INITIAL | MARKED;
+    pub const KNOWN: u8 = INITIAL | MARKED | FAILED | SERVES;
 }
 
 /// Bounds-checked big-endian writer.
@@ -85,6 +107,11 @@ impl Writer {
 
     /// Appends a big-endian `u32`.
     pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian `u64` (reliable-layer sequence numbers).
+    pub fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
@@ -152,6 +179,14 @@ impl<'a> Reader<'a> {
     pub fn u32(&mut self) -> Result<u32, WireError> {
         let b = self.take(4)?;
         Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a big-endian `u64` (reliable-layer sequence numbers).
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     /// Reads a node address.
@@ -229,6 +264,14 @@ mod tests {
             MsgType::ReuniteData,
             MsgType::PimJoin,
             MsgType::PimData,
+            MsgType::HbhHardJoin,
+            MsgType::HbhHardLeave,
+            MsgType::HbhHardPrune,
+            MsgType::HbhHardTree,
+            MsgType::HbhHardFusion,
+            MsgType::HbhHardProbe,
+            MsgType::HbhHardAck,
+            MsgType::HbhHardData,
         ] {
             assert_eq!(MsgType::from_byte(t as u8), Some(t));
         }

@@ -3,7 +3,7 @@
 
 use crate::codec::{decode, decode_prefix, encode, WireMsg};
 use hbh_pim::PimMsg;
-use hbh_proto::HbhMsg;
+use hbh_proto::{HardCtl, HardMsg, HbhMsg};
 use hbh_proto_base::{Channel, GroupAddr};
 use hbh_reunite::ReuniteMsg;
 use hbh_topo::graph::NodeId;
@@ -11,6 +11,48 @@ use proptest::prelude::*;
 
 fn arb_channel() -> impl Strategy<Value = Channel> {
     (any::<u32>(), any::<u32>()).prop_map(|(s, g)| Channel::new(NodeId(s), GroupAddr(g)))
+}
+
+fn arb_hard_ctl() -> impl Strategy<Value = HardCtl> {
+    let node = any::<u32>().prop_map(NodeId);
+    prop_oneof![
+        (
+            arb_channel(),
+            node.clone(),
+            proptest::option::of(node.clone())
+        )
+            .prop_map(|(ch, who, failed)| HardCtl::Join { ch, who, failed }),
+        (arb_channel(), node.clone()).prop_map(|(ch, who)| HardCtl::Leave { ch, who }),
+        (arb_channel(), node.clone()).prop_map(|(ch, who)| HardCtl::Prune { ch, who }),
+        (arb_channel(), node.clone()).prop_map(|(ch, target)| HardCtl::Tree { ch, target }),
+        (
+            arb_channel(),
+            node.clone(),
+            proptest::collection::vec(any::<u32>().prop_map(NodeId), 0..32)
+        )
+            .prop_map(|(ch, from, nodes)| HardCtl::Fusion { ch, from, nodes }),
+        (arb_channel(), node).prop_map(|(ch, who)| HardCtl::Probe { ch, who }),
+    ]
+}
+
+fn arb_hard_msg() -> impl Strategy<Value = HardMsg> {
+    let node = any::<u32>().prop_map(NodeId);
+    prop_oneof![
+        (node.clone(), any::<u64>(), arb_hard_ctl()).prop_map(|(origin, seq, ctl)| HardMsg::Ctl {
+            origin,
+            seq,
+            ctl
+        }),
+        (node.clone(), any::<u64>(), node, any::<bool>()).prop_map(|(origin, seq, by, known)| {
+            HardMsg::Ack {
+                origin,
+                seq,
+                by,
+                known,
+            }
+        }),
+        arb_channel().prop_map(|ch| HardMsg::Data { ch }),
+    ]
 }
 
 fn arb_msg() -> impl Strategy<Value = WireMsg> {
@@ -27,6 +69,7 @@ fn arb_msg() -> impl Strategy<Value = WireMsg> {
         )
             .prop_map(|(ch, from, nodes)| WireMsg::Hbh(HbhMsg::Fusion { ch, from, nodes })),
         arb_channel().prop_map(|ch| WireMsg::Hbh(HbhMsg::Data { ch })),
+        arb_hard_msg().prop_map(WireMsg::HbhHard),
         (arb_channel(), node.clone(), any::<bool>()).prop_map(|(ch, receiver, fresh)| {
             WireMsg::Reunite(ReuniteMsg::Join {
                 ch,

@@ -226,10 +226,10 @@ fn churn_experiment_pinned_seed_regression() {
     let cfg = ChurnConfig::from_run(&RunConfig::new().runs(2).seed(1));
     let report = evaluate(&cfg);
     assert_eq!(report.skipped, 0);
-    let [reunite, hbh] = &report.points[..] else {
-        panic!("expected the recursive-unicast pair");
+    let [reunite, hbh, hard] = &report.points[..] else {
+        panic!("expected the three churn arms");
     };
-    for (name, p) in [("REUNITE", reunite), ("HBH", hbh)] {
+    for (name, p) in [("REUNITE", reunite), ("HBH", hbh), ("HBH-HARD", hard)] {
         assert_eq!(p.unrepaired, 0, "{name} failed to repair");
         assert_eq!(p.unrecovered, 0, "{name} failed to recover");
     }
@@ -238,29 +238,46 @@ fn churn_experiment_pinned_seed_regression() {
         0.0,
         "HBH must not perturb innocent receivers"
     );
+    // The hard variant's selling point, as a hard gate: event-driven
+    // repair beats soft-state refresh-and-decay outright, without ever
+    // touching a receiver the crash did not affect.
+    assert!(
+        hard.repair_latency.mean() < hbh.repair_latency.mean(),
+        "HBH-HARD (mean {}) must repair strictly faster than soft HBH (mean {})",
+        hard.repair_latency.mean(),
+        hbh.repair_latency.mean()
+    );
+    assert_eq!(
+        hard.perturbed.mean(),
+        0.0,
+        "HBH-HARD must not perturb innocent receivers"
+    );
+    assert!(
+        hard.retransmits.mean() >= 0.0 && hbh.retransmits.mean() == 0.0,
+        "only the reliable layer retransmits"
+    );
     // Pinned means: deterministic across runs, threads and platforms.
     let pin = |s: &hbh_experiments::stats::Summary| (s.mean() * 1000.0).round();
-    let snapshot = [
-        pin(&reunite.repair_latency),
-        pin(&reunite.lost),
-        pin(&reunite.duplicates),
-        pin(&reunite.perturbed),
-        pin(&hbh.repair_latency),
-        pin(&hbh.lost),
-        pin(&hbh.duplicates),
-    ];
+    let snap = |points: &[hbh_experiments::figures::churn::ChurnPoint]| {
+        let (reunite, hbh, hard) = (&points[0], &points[1], &points[2]);
+        [
+            pin(&reunite.repair_latency),
+            pin(&reunite.lost),
+            pin(&reunite.duplicates),
+            pin(&reunite.perturbed),
+            pin(&hbh.repair_latency),
+            pin(&hbh.lost),
+            pin(&hbh.duplicates),
+            pin(&hard.repair_latency),
+            pin(&hard.lost),
+            pin(&hard.duplicates),
+        ]
+    };
+    let snapshot = snap(&report.points);
     let again = evaluate(&cfg);
-    let again_snapshot = [
-        pin(&again.points[0].repair_latency),
-        pin(&again.points[0].lost),
-        pin(&again.points[0].duplicates),
-        pin(&again.points[0].perturbed),
-        pin(&again.points[1].repair_latency),
-        pin(&again.points[1].lost),
-        pin(&again.points[1].duplicates),
-    ];
     assert_eq!(
-        snapshot, again_snapshot,
+        snapshot,
+        snap(&again.points),
         "churn evaluation must be deterministic"
     );
     // The absolute values, pinned. Update deliberately if the protocol,
@@ -268,6 +285,9 @@ fn churn_experiment_pinned_seed_regression() {
     assert_eq!(snapshot, CHURN_PIN, "pinned churn numbers drifted");
 }
 
-/// `(mean × 1000).round()` for REUNITE `[repair, lost, dup, perturbed]`
-/// then HBH `[repair, lost, dup]`, at ISP topology, 2 runs, seed 1.
-const CHURN_PIN: [f64; 7] = [250000.0, 8500.0, 0.0, 0.0, 350000.0, 7500.0, 107000.0];
+/// `(mean × 1000).round()` for REUNITE `[repair, lost, dup, perturbed]`,
+/// HBH `[repair, lost, dup]`, then HBH-HARD `[repair, lost, dup]`, at ISP
+/// topology, 2 runs, seed 1.
+const CHURN_PIN: [f64; 10] = [
+    250000.0, 8500.0, 0.0, 0.0, 350000.0, 7500.0, 107000.0, 150000.0, 5000.0, 4000.0,
+];

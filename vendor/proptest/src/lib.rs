@@ -250,6 +250,33 @@ pub mod sample {
     }
 }
 
+pub mod option {
+    use super::strategy::Strategy;
+    use super::*;
+
+    /// `Option` strategy: `None` one time in four, else `Some` of the inner.
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.next_u64() & 0b11 == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+
+    /// Generates `Option`s of the inner strategy's values.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
 pub mod collection {
     use super::strategy::Strategy;
     use super::*;
