@@ -24,6 +24,41 @@ fn routing_tables(c: &mut Criterion) {
     });
 }
 
+/// Adjacency-list vs CSR neighbor iteration: the inner loop of every
+/// Dijkstra relaxation. Both walk the full rand50 edge set (every node's
+/// out-edges) and fold destination + cost, the exact access pattern of
+/// `shortest_paths_*_csr_into`.
+fn neighbor_iteration(c: &mut Criterion) {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(2);
+    let mut g = random::rand50(&mut rng);
+    costs::assign_paper_costs(&mut g, &mut rng);
+    let csr = hbh_topo::Csr::from_graph(&g);
+
+    c.bench_function("neighbors_adjacency_rand100", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for n in g.nodes() {
+                for e in g.neighbors(black_box(n)) {
+                    acc += e.to.0 as u64 + e.cost as u64;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("neighbors_csr_rand100", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for n in 0..csr.node_count() {
+                let (to, cost, _) = csr.out_slices(black_box(hbh_topo::graph::NodeId(n as u32)));
+                for i in 0..to.len() {
+                    acc += to[i] as u64 + cost[i] as u64;
+                }
+            }
+            black_box(acc)
+        })
+    });
+}
+
 fn protocol_runs(c: &mut Criterion) {
     let timing = Timing::default();
     let sc = build(
@@ -64,6 +99,6 @@ fn scenario_build(c: &mut Criterion) {
 criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(20);
-    targets = routing_tables, protocol_runs, scenario_build
+    targets = routing_tables, neighbor_iteration, protocol_runs, scenario_build
 }
 criterion_main!(micro);

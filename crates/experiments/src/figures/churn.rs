@@ -30,7 +30,7 @@ use crate::runner::{converge, probe_tolerant, probe_window};
 use crate::scenario::{build, Scenario, ScenarioOptions, TopologyKind};
 use crate::stats::Summary;
 use hbh_proto_base::{Channel, Cmd, Timing};
-use hbh_routing::RoutingTables;
+use hbh_routing::{OnDemandRoutes, RouteProvider};
 use hbh_sim_core::{FaultEvent, Kernel, Protocol};
 use hbh_topo::graph::NodeId;
 use std::collections::{BTreeMap, BTreeSet};
@@ -44,7 +44,7 @@ use std::collections::{BTreeMap, BTreeSet};
 /// reachable on the surviving topology.
 pub fn pick_victim(scenario: &Scenario) -> Option<NodeId> {
     let g = scenario.graph();
-    let tables = scenario.network().tables();
+    let routes = scenario.network().routes();
     let mut excluded: BTreeSet<NodeId> = BTreeSet::new();
     excluded.insert(g.host_router(scenario.source));
     for &r in &scenario.receivers {
@@ -52,7 +52,7 @@ pub fn pick_victim(scenario: &Scenario) -> Option<NodeId> {
     }
     let mut on_paths: BTreeMap<NodeId, usize> = BTreeMap::new();
     for &r in &scenario.receivers {
-        if let Some(path) = tables.path(scenario.source, r) {
+        if let Some(path) = routes.path(scenario.source, r) {
             for &n in &path {
                 if g.is_router(n) && g.is_mcast_capable(n) && !excluded.contains(&n) {
                     *on_paths.entry(n).or_insert(0) += 1;
@@ -72,7 +72,14 @@ pub fn pick_victim(scenario: &Scenario) -> Option<NodeId> {
     let mut node_down = vec![false; g.node_count()];
     node_down[victim.index()] = true;
     let edge_down = vec![false; g.directed_edge_count()];
-    let avoiding = RoutingTables::compute_avoiding(g, &node_down, &edge_down);
+    // Reachability needs only the source's SPF row over the surviving
+    // topology — one lazy row instead of an all-pairs recompute.
+    let avoiding = OnDemandRoutes::with_masks(
+        std::sync::Arc::new(hbh_topo::Csr::from_graph(g)),
+        node_down,
+        edge_down,
+        2,
+    );
     scenario
         .receivers
         .iter()

@@ -28,6 +28,7 @@ pub mod parallel;
 pub mod protocols;
 pub mod report;
 pub mod runner;
+pub mod scale;
 pub mod scenario;
 pub mod stats;
 

@@ -102,8 +102,10 @@ pub fn pick_rp_with(scenario: &Scenario, policy: RpPolicy) -> NodeId {
             // search degenerates to the source's own access router, making
             // PIM-SM ≡ PIM-SS — provably, since every reverse path to a
             // single-homed source decomposes through that router.) The
-            // scenario's shared tables already hold exactly these routes.
-            let tables = scenario.network().tables();
+            // scenario's shared routing service holds exactly these routes.
+            // Note this scans routers × hosts — appropriate at paper scale;
+            // the scale sweeps run without PIM-SM for this reason.
+            let routes = scenario.network().routes();
             let hosts: Vec<NodeId> = scenario.graph().hosts().collect();
             routers
                 .iter()
@@ -111,7 +113,7 @@ pub fn pick_rp_with(scenario: &Scenario, policy: RpPolicy) -> NodeId {
                 .min_by_key(|&r| {
                     hosts
                         .iter()
-                        .map(|&h| tables.dist(r, h).unwrap_or(u64::MAX / 1024))
+                        .map(|&h| routes.dist(r, h).unwrap_or(u64::MAX / 1024))
                         .sum::<u64>()
                 })
                 .expect("at least one capable router")

@@ -37,6 +37,7 @@
 //! churn experiment are attributable to the state model, not to a
 //! different tree shape.
 
+use crate::bits::{reach_fixpoint, Mask, Seed};
 use hbh_proto_base::reliable::{ReliableConfig, ReliableState, RtxVerdict};
 use hbh_proto_base::{Channel, Cmd, Timing};
 use hbh_sim_core::{Ctx, Packet, Protocol, Time};
@@ -252,53 +253,21 @@ impl HardMft {
     /// liveness phases: bit `i` set iff `entries[i]` currently receives
     /// data through this table (directly if unmarked, else through a
     /// reachable coverer chain).
-    fn data_reachable(&self) -> u128 {
-        assert!(
-            self.entries.len() <= 128,
-            "MFT fixpoint supports at most 128 entries per (node, channel)"
-        );
-        let mut reach: u128 = 0;
-        let mut pending: u128 = 0;
-        for (i, e) in self.entries.iter().enumerate() {
-            if e.marked {
-                pending |= 1 << i;
-            } else {
-                reach |= 1 << i;
-            }
-        }
-        if pending == 0 {
-            return reach;
-        }
-        let mut frontier = reach;
-        loop {
-            let mut newly: u128 = 0;
-            let mut f = frontier;
-            while f != 0 {
-                let j = f.trailing_zeros() as usize;
-                f &= f - 1;
+    fn data_reachable(&self) -> Mask {
+        reach_fixpoint(
+            self.entries.len(),
+            |i| {
+                if self.entries[i].marked {
+                    Seed::Pending
+                } else {
+                    Seed::Reach
+                }
+            },
+            |j, i| {
                 let covers = &self.entries[j].covers;
-                if covers.is_empty() {
-                    continue;
-                }
-                let mut p = pending;
-                while p != 0 {
-                    let i = p.trailing_zeros() as usize;
-                    p &= p - 1;
-                    if covers.contains(&self.entries[i].node) {
-                        newly |= 1 << i;
-                    }
-                }
-            }
-            if newly == 0 {
-                return reach;
-            }
-            reach |= newly;
-            pending &= !newly;
-            if pending == 0 {
-                return reach;
-            }
-            frontier = newly;
-        }
+                !covers.is_empty() && covers.contains(&self.entries[i].node)
+            },
+        )
     }
 
     /// Does a data-reachable entry other than `n` claim `n` in its
@@ -315,7 +284,7 @@ impl HardMft {
         self.entries
             .iter()
             .enumerate()
-            .any(|(i, e)| reach & (1 << i) != 0 && e.node != n && e.covers.contains(&n))
+            .any(|(i, e)| reach.test(i) && e.node != n && e.covers.contains(&n))
     }
 
     /// Is `nodes` contained in the coverage of a data-reachable entry
@@ -329,7 +298,7 @@ impl HardMft {
         }
         let reach = self.data_reachable();
         self.entries.iter().enumerate().any(|(i, e)| {
-            reach & (1 << i) != 0
+            reach.test(i)
                 && e.node != sender
                 && !e.covers.is_empty()
                 && nodes.iter().all(|n| e.covers.contains(n))

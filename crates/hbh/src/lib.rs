@@ -47,6 +47,7 @@
 //! The full Appendix-A rule set is implemented in [`engine`] with the rule
 //! numbers of the paper's Figure 9 cited inline.
 
+pub(crate) mod bits;
 pub mod engine;
 pub mod hard;
 pub mod messages;

@@ -34,6 +34,7 @@
 //! marks the senders it subsumes. `DESIGN.md` §5 records this as the one
 //! place we had to complete the paper's specification.
 
+use crate::bits::{reach_fixpoint, Mask, Seed};
 use hbh_proto_base::{EntryPhase, SoftEntry, Timing};
 use hbh_sim_core::Time;
 use hbh_topo::graph::NodeId;
@@ -181,74 +182,28 @@ impl HbhMft {
     /// is reachable (we fan data out to it directly), and a live *marked*
     /// entry is reachable if an already-reachable entry's coverage claims
     /// it (data flows to the coverer, which forwards it onward). Coverage
-    /// chains can nest — B3 serves B2 serves B1 — so one hop is not
-    /// enough; tables are tiny, so the quadratic fixpoint is fine.
-    ///
-    /// Bit `i` of the result corresponds to `entries[i]`. The fixpoint is
-    /// queried on the fusion/tree hot path, so it runs over a stack
-    /// bitmask instead of a heap vector; 128 bits is far beyond any real
-    /// table (entries are the downstream receivers and branching nodes of
-    /// one router for one channel — a few dozen at most, and the paper's
-    /// largest group is 45). The assert keeps an overgrown table loud
-    /// rather than silently mis-evaluated.
-    fn data_reachable(&self, now: Time) -> u128 {
-        assert!(
-            self.entries.len() <= 128,
-            "MFT fixpoint supports at most 128 entries per (node, channel)"
-        );
-        // One liveness pass seeds the fixpoint; afterwards everything runs
-        // on bitmasks so no entry's phase is re-derived per round.
-        let mut reach: u128 = 0;
-        let mut pending: u128 = 0; // live but marked: reachable only via a coverer
-        for (i, e) in self.entries.iter().enumerate() {
-            if e.entry.is_dead(now) {
-                continue;
-            }
-            if e.entry.marked {
-                pending |= 1 << i;
-            } else {
-                reach |= 1 << i;
-            }
-        }
-        if pending == 0 {
-            // Nothing marked: the seed set is already the fixpoint.
-            return reach;
-        }
-        // Frontier propagation: only entries that became reachable in the
-        // previous round can newly claim a pending one, so each round
-        // scans the frontier's coverage sets instead of the whole table.
-        // (Nodes are unique per table and reach/pending stay disjoint, so
-        // the old `e.node != me` self-claim guard is implied.)
-        let mut frontier = reach;
-        loop {
-            let mut newly: u128 = 0;
-            let mut f = frontier;
-            while f != 0 {
-                let j = f.trailing_zeros() as usize;
-                f &= f - 1;
+    /// chains can nest, so the propagation runs to a fixpoint (see
+    /// [`crate::bits::reach_fixpoint`]). Bit `i` of the result corresponds
+    /// to `entries[i]`; table width is unbounded — the internet-scale
+    /// sweeps route hundreds of receivers through single access routers.
+    fn data_reachable(&self, now: Time) -> Mask {
+        reach_fixpoint(
+            self.entries.len(),
+            |i| {
+                let e = &self.entries[i];
+                if e.entry.is_dead(now) {
+                    Seed::Skip
+                } else if e.entry.marked {
+                    Seed::Pending // reachable only via a coverer
+                } else {
+                    Seed::Reach
+                }
+            },
+            |j, i| {
                 let covers = &self.entries[j].covers;
-                if covers.is_empty() {
-                    continue;
-                }
-                let mut p = pending;
-                while p != 0 {
-                    let i = p.trailing_zeros() as usize;
-                    p &= p - 1;
-                    if covers.contains(&self.entries[i].node) {
-                        newly |= 1 << i;
-                    }
-                }
-            }
-            if newly == 0 {
-                return reach;
-            }
-            reach |= newly;
-            pending &= !newly;
-            if pending == 0 {
-                return reach;
-            }
-            frontier = newly;
-        }
+                !covers.is_empty() && covers.contains(&self.entries[i].node)
+            },
+        )
     }
 
     /// Is `n` claimed by the coverage of a live, data-reachable entry
@@ -271,7 +226,7 @@ impl HbhMft {
         self.entries
             .iter()
             .enumerate()
-            .any(|(i, e)| reach & (1 << i) != 0 && e.node != n && e.covers.contains(&n))
+            .any(|(i, e)| reach.test(i) && e.node != n && e.covers.contains(&n))
     }
 
     /// Is `nodes` contained in the coverage of a live, data-reachable
@@ -294,7 +249,7 @@ impl HbhMft {
         }
         let reach = self.data_reachable(now);
         self.entries.iter().enumerate().any(|(i, e)| {
-            reach & (1 << i) != 0
+            reach.test(i)
                 && e.node != sender
                 && !e.covers.is_empty()
                 && nodes.iter().all(|n| e.covers.contains(n))

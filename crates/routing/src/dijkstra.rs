@@ -10,8 +10,16 @@
 //!   whose predecessor has the smaller node id wins, so routing tables are
 //!   a pure function of the topology — a property the regression tests and
 //!   the paired-run experiment design both rely on.
+//!
+//! The search itself runs over a [`Csr`] packing of the graph: per-node
+//! out-edges are contiguous `u32` slices instead of one heap allocation per
+//! node, which is what makes all-pairs and on-demand sweeps viable at
+//! thousands of routers. CSR packing preserves per-node edge order, so the
+//! tie-breaks — and therefore every route — are identical to a search over
+//! the raw adjacency.
 
-use hbh_topo::graph::{Graph, NodeId, PathCost};
+use hbh_topo::csr::Csr;
+use hbh_topo::graph::{EdgeId, Graph, NodeId, PathCost};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -35,7 +43,9 @@ const UNREACHABLE: PathCost = PathCost::MAX;
 ///
 /// All-pairs table construction ([`crate::RoutingTables::compute`]) runs
 /// one search per node; threading one scratch through them replaces `4n`
-/// fresh allocations per search with buffer resets.
+/// fresh allocations per search with buffer resets. Fault-reroute paths
+/// hold one of these across *calls* too (see
+/// [`crate::RoutingTables::compute_avoiding_with`]).
 #[derive(Default)]
 pub struct DijkstraScratch {
     pub(crate) dist: Vec<PathCost>,
@@ -60,9 +70,14 @@ impl DijkstraScratch {
 }
 
 /// Runs Dijkstra from `root` over the directed costs of `g`.
+///
+/// One-shot convenience: packs `g` into a throwaway [`Csr`] first. Sweeps
+/// that run many searches should pack once and use the `_csr` entry points
+/// (as [`crate::RoutingTables`] and `OnDemandRoutes` do).
 pub fn shortest_paths(g: &Graph, root: NodeId) -> ShortestPaths {
+    let csr = Csr::from_graph(g);
     let mut s = DijkstraScratch::default();
-    shortest_paths_into(g, root, &mut s);
+    shortest_paths_csr_into(&csr, root, &mut s);
     ShortestPaths {
         root,
         dist: std::mem::take(&mut s.dist),
@@ -71,50 +86,52 @@ pub fn shortest_paths(g: &Graph, root: NodeId) -> ShortestPaths {
     }
 }
 
-/// [`shortest_paths`], but into caller-provided scratch storage. The
-/// results are left in `s.dist` / `s.pred` / `s.first`.
+/// [`shortest_paths`] over a pre-packed CSR view, into caller-provided
+/// scratch storage. The results are left in `s.dist` / `s.pred` /
+/// `s.first`.
 ///
 /// First hops are resolved inline during relaxation: when `v` is improved
 /// via `u`, `u` has already been finalized (its out-edges are only relaxed
 /// after it is popped as settled), so `first[u]` is final and
 /// `first[v] = first[u]` (or `v` itself when `u` is the root) holds for
 /// the eventual shortest path too.
-pub(crate) fn shortest_paths_into(g: &Graph, root: NodeId, s: &mut DijkstraScratch) {
-    shortest_paths_core(g, root, s, |_| true, |_| true);
+pub(crate) fn shortest_paths_csr_into(csr: &Csr, root: NodeId, s: &mut DijkstraScratch) {
+    shortest_paths_core(csr, root, s, |_| true, |_| true);
 }
 
-/// [`shortest_paths_into`] over the *surviving* topology: nodes flagged in
-/// `node_down` and directed edges flagged in `edge_down` are excluded from
-/// the search (the failure-injection reroute path). Both masks are indexed
-/// densely by `NodeId`/`EdgeId`; tie-breaking is identical to the
-/// unfiltered search, so all-false masks reproduce it exactly.
-pub(crate) fn shortest_paths_avoiding_into(
-    g: &Graph,
+/// [`shortest_paths_csr_into`] over the *surviving* topology: nodes
+/// flagged in `node_down` and directed edges flagged in `edge_down` are
+/// excluded from the search (the failure-injection reroute path). Both
+/// masks are indexed densely by `NodeId`/`EdgeId`; tie-breaking is
+/// identical to the unfiltered search, so all-false masks reproduce it
+/// exactly.
+pub(crate) fn shortest_paths_avoiding_csr_into(
+    csr: &Csr,
     root: NodeId,
     s: &mut DijkstraScratch,
     node_down: &[bool],
     edge_down: &[bool],
 ) {
     shortest_paths_core(
-        g,
+        csr,
         root,
         s,
         |n: NodeId| !node_down[n.index()],
-        |e: hbh_topo::graph::EdgeId| !edge_down[e.index()],
+        |e: EdgeId| !edge_down[e.index()],
     );
 }
 
 /// The search itself, generic over the availability filters so the
 /// unfiltered hot path monomorphizes to the historical loop with no mask
-/// reads.
+/// reads. Edges are relaxed as a parallel-slice walk over the CSR arrays.
 fn shortest_paths_core(
-    g: &Graph,
+    csr: &Csr,
     root: NodeId,
     s: &mut DijkstraScratch,
     node_up: impl Fn(NodeId) -> bool,
-    edge_up: impl Fn(hbh_topo::graph::EdgeId) -> bool,
+    edge_up: impl Fn(EdgeId) -> bool,
 ) {
-    s.reset(g.node_count());
+    s.reset(csr.node_count());
     if !node_up(root) {
         return; // a failed root reaches nothing (its own dist stays MAX)
     }
@@ -128,15 +145,16 @@ fn shortest_paths_core(
         }
         s.done[u.index()] = true;
         // Hosts sink traffic; only the search root may emit from one.
-        if u != root && g.is_host(u) {
+        if u != root && csr.is_host(u) {
             continue;
         }
-        for e in g.neighbors(u) {
-            let v = e.to;
-            if !edge_up(e.eid) || !node_up(v) {
+        let (to, cost, eid) = csr.out_slices(u);
+        for i in 0..to.len() {
+            let v = NodeId(to[i]);
+            if !edge_up(EdgeId(eid[i])) || !node_up(v) {
                 continue;
             }
-            let nd = d + PathCost::from(e.cost);
+            let nd = d + PathCost::from(cost[i]);
             let better = nd < s.dist[v.index()]
                 || (nd == s.dist[v.index()] && tie_break(s.pred[v.index()], u));
             if better && !s.done[v.index()] {

@@ -12,7 +12,10 @@
 //! * [`dijkstra`] — single-source shortest paths over the *directed* link
 //!   costs (hosts never transit);
 //! * [`tables::RoutingTables`] — all-pairs distances and next hops, the
-//!   forwarding state every simulated node consults;
+//!   eager forwarding state (exact, O(n²) — the paper-scale default);
+//! * [`provider`] — the [`provider::RouteProvider`] trait plus
+//!   [`provider::OnDemandRoutes`], lazy per-source SPF rows behind an LRU
+//!   for internet-scale topologies where n² tables no longer fit;
 //! * [`paths`] — path extraction and shortest-path-tree construction
 //!   (forward SPT and reverse SPT — the two tree shapes whose difference
 //!   under asymmetric costs is the whole point of the paper);
@@ -26,6 +29,7 @@
 pub mod asymmetry;
 pub mod dijkstra;
 pub mod paths;
+pub mod provider;
 pub mod qos;
 pub mod reference;
 pub mod tables;
@@ -33,5 +37,6 @@ pub mod tables;
 #[cfg(test)]
 mod proptests;
 
-pub use dijkstra::ShortestPaths;
+pub use dijkstra::{DijkstraScratch, ShortestPaths};
+pub use provider::{OnDemandRoutes, RouteProvider, RouteStats};
 pub use tables::RoutingTables;

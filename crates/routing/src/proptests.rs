@@ -1,6 +1,7 @@
 //! Property-based tests for the routing substrate: metric laws that must
 //! hold on arbitrary connected graphs with arbitrary directed costs.
 
+use crate::provider::{OnDemandRoutes, RouteProvider};
 use crate::reference::floyd_warshall;
 use crate::tables::RoutingTables;
 use hbh_topo::graph::{Graph, PathCost};
@@ -90,6 +91,84 @@ proptest! {
                         }
                     }
                 }
+            }
+        }
+    }
+
+    /// The lazy provider answers exactly like the eager tables on every
+    /// (src, dst) pair — identical distances AND identical next hops (the
+    /// tie-breaks must survive the CSR/caching path), even with a cache
+    /// small enough to force evictions mid-sweep.
+    #[test]
+    fn on_demand_equals_eager_tables(seed in 0u64..100_000, n in 4usize..16, d in 0u8..8) {
+        let g = arb_graph(seed, n, d);
+        let eager = RoutingTables::compute(&g);
+        let lazy = OnDemandRoutes::new(&g, 3.max(n / 4));
+        for u in g.nodes() {
+            for v in g.nodes() {
+                prop_assert_eq!(eager.dist(u, v), lazy.dist(u, v), "dist {}->{}", u, v);
+                prop_assert_eq!(
+                    eager.next_hop(u, v),
+                    RouteProvider::next_hop(&lazy, u, v),
+                    "hop {}->{}", u, v
+                );
+            }
+        }
+    }
+
+    /// Same equivalence over the surviving topology when one router is
+    /// avoided, exercising the masked SPF path of both providers.
+    #[test]
+    fn on_demand_equals_eager_avoiding_a_node(seed in 0u64..100_000, n in 5usize..16, d in 0u8..8) {
+        let g = arb_graph(seed, n, d);
+        let victim = g.routers().nth((seed as usize) % 3).unwrap();
+        let mut node_down = vec![false; g.node_count()];
+        node_down[victim.index()] = true;
+        let edge_down = vec![false; g.directed_edge_count()];
+        let eager = RoutingTables::compute_avoiding(&g, &node_down, &edge_down);
+        let lazy = OnDemandRoutes::with_masks(
+            std::sync::Arc::new(hbh_topo::Csr::from_graph(&g)),
+            node_down,
+            edge_down,
+            3.max(n / 4),
+        );
+        for u in g.nodes() {
+            for v in g.nodes() {
+                prop_assert_eq!(eager.dist(u, v), lazy.dist(u, v), "dist {}->{}", u, v);
+                prop_assert_eq!(
+                    eager.next_hop(u, v),
+                    RouteProvider::next_hop(&lazy, u, v),
+                    "hop {}->{}", u, v
+                );
+            }
+        }
+    }
+
+    /// Fault transitions through `rerouted` (selective invalidation +
+    /// cached survivors) still answer exactly like a fresh masked
+    /// computation.
+    #[test]
+    fn rerouted_provider_stays_exact(seed in 0u64..100_000, n in 5usize..14, d in 0u8..8) {
+        let g = arb_graph(seed, n, d);
+        let lazy = OnDemandRoutes::new(&g, n);
+        // Warm a few rows, then fail a router and compare post-fault.
+        for u in g.nodes().take(n / 2) {
+            lazy.dist(u, g.nodes().last().unwrap());
+        }
+        let victim = g.routers().nth((seed as usize) % 3).unwrap();
+        let mut node_down = vec![false; g.node_count()];
+        node_down[victim.index()] = true;
+        let edge_down = vec![false; g.directed_edge_count()];
+        let after = lazy.rerouted(node_down.clone(), edge_down.clone());
+        let fresh = RoutingTables::compute_avoiding(&g, &node_down, &edge_down);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                prop_assert_eq!(fresh.dist(u, v), after.dist(u, v), "dist {}->{}", u, v);
+                prop_assert_eq!(
+                    fresh.next_hop(u, v),
+                    RouteProvider::next_hop(&after, u, v),
+                    "hop {}->{}", u, v
+                );
             }
         }
     }

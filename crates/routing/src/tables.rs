@@ -6,7 +6,8 @@
 //! running [`crate::dijkstra`] from every node — NS-2's static routing does
 //! the same before the simulation starts.
 
-use crate::dijkstra::{shortest_paths_avoiding_into, shortest_paths_into, DijkstraScratch};
+use crate::dijkstra::{shortest_paths_avoiding_csr_into, shortest_paths_csr_into, DijkstraScratch};
+use hbh_topo::csr::Csr;
 use hbh_topo::graph::{Graph, NodeId, PathCost};
 
 /// Precomputed all-pairs routing: distances and next hops.
@@ -41,16 +42,23 @@ pub struct RoutingTables {
 impl RoutingTables {
     /// Builds the tables for the current costs of `g`.
     ///
-    /// One Dijkstra run per node, all sharing one scratch buffer. Each
-    /// search resolves first hops inline, so a table row is a plain copy of
-    /// the search result — no per-row sort or path reconstruction.
+    /// The graph is packed into a [`Csr`] once, then one Dijkstra run per
+    /// node, all sharing one scratch buffer. Each search resolves first
+    /// hops inline, so a table row is a plain copy of the search result —
+    /// no per-row sort or path reconstruction.
     pub fn compute(g: &Graph) -> Self {
-        let n = g.node_count();
+        Self::compute_csr(&Csr::from_graph(g))
+    }
+
+    /// [`RoutingTables::compute`] over a pre-packed CSR view.
+    pub fn compute_csr(csr: &Csr) -> Self {
+        let n = csr.node_count();
         let mut dist = vec![PathCost::MAX; n * n];
         let mut next = vec![None; n * n];
         let mut scratch = DijkstraScratch::default();
-        for u in g.nodes() {
-            shortest_paths_into(g, u, &mut scratch);
+        for u in 0..n {
+            let u = NodeId(u as u32);
+            shortest_paths_csr_into(csr, u, &mut scratch);
             let row = u.index() * n;
             dist[row..row + n].copy_from_slice(&scratch.dist);
             next[row..row + n].copy_from_slice(&scratch.first);
@@ -72,17 +80,49 @@ impl RoutingTables {
     /// # Panics
     /// Panics if a mask length does not match the graph.
     pub fn compute_avoiding(g: &Graph, node_down: &[bool], edge_down: &[bool]) -> Self {
+        let mut scratch = DijkstraScratch::default();
+        Self::compute_avoiding_with(g, node_down, edge_down, &mut scratch)
+    }
+
+    /// [`RoutingTables::compute_avoiding`] with caller-held scratch, for
+    /// call sites that reroute repeatedly (one reroute per fault event in a
+    /// churn run): the n searches of one call *and* every subsequent call
+    /// reuse the same buffers instead of reallocating per source.
+    pub fn compute_avoiding_with(
+        g: &Graph,
+        node_down: &[bool],
+        edge_down: &[bool],
+        scratch: &mut DijkstraScratch,
+    ) -> Self {
         assert_eq!(node_down.len(), g.node_count(), "node mask length");
         assert_eq!(edge_down.len(), g.directed_edge_count(), "edge mask length");
-        let n = g.node_count();
+        Self::compute_avoiding_csr_with(&Csr::from_graph(g), node_down, edge_down, scratch)
+    }
+
+    /// [`RoutingTables::compute_avoiding_with`] over a pre-packed CSR view
+    /// (the fault-reroute hot path packs once per topology and reuses it
+    /// across every fault event).
+    pub fn compute_avoiding_csr_with(
+        csr: &Csr,
+        node_down: &[bool],
+        edge_down: &[bool],
+        scratch: &mut DijkstraScratch,
+    ) -> Self {
+        assert_eq!(node_down.len(), csr.node_count(), "node mask length");
+        assert_eq!(
+            edge_down.len(),
+            csr.directed_edge_count(),
+            "edge mask length"
+        );
+        let n = csr.node_count();
         let mut dist = vec![PathCost::MAX; n * n];
         let mut next = vec![None; n * n];
-        let mut scratch = DijkstraScratch::default();
-        for u in g.nodes() {
+        for u in 0..n {
+            let u = NodeId(u as u32);
             if node_down[u.index()] {
                 continue; // row stays unreachable
             }
-            shortest_paths_avoiding_into(g, u, &mut scratch, node_down, edge_down);
+            shortest_paths_avoiding_csr_into(csr, u, scratch, node_down, edge_down);
             let row = u.index() * n;
             dist[row..row + n].copy_from_slice(&scratch.dist);
             next[row..row + n].copy_from_slice(&scratch.first);

@@ -1,0 +1,229 @@
+//! Compressed-sparse-row (CSR) packing of a frozen [`Graph`].
+//!
+//! [`Graph`] stores adjacency as one `Vec<OutEdge>` per node — convenient
+//! to mutate, but every node's out-edges are a separate heap allocation,
+//! so an all-pairs or per-source Dijkstra sweep chases `n` pointers and
+//! the 16-byte `OutEdge` entries drag the unused bandwidth field through
+//! the cache. [`Csr`] repacks the same adjacency into four contiguous
+//! arrays indexed by one offset table: iteration over a node's out-edges
+//! is a pure slice walk over `u32`s, and the whole structure is immutable —
+//! the form the routing layer wants for 10k-router topologies.
+//!
+//! Edge *order is preserved exactly* (per-node insertion order, nodes in
+//! id order), so a Dijkstra run over the CSR view relaxes edges in the
+//! same sequence as one over the `Graph` adjacency and produces identical
+//! routes and tie-breaks. The regression tests pin this.
+
+use crate::graph::{Cost, EdgeId, Graph, LinkId, NodeId};
+
+/// An immutable CSR view of a [`Graph`]'s directed adjacency.
+///
+/// Built once per frozen topology ([`Csr::from_graph`]); all arrays use
+/// dense `u32` indices. `offsets` has `n + 1` entries; the out-edges of
+/// node `u` occupy slots `offsets[u] .. offsets[u + 1]` of the parallel
+/// `to` / `cost` / `eid` arrays.
+#[derive(Clone, Debug)]
+pub struct Csr {
+    /// Slot range per node: `offsets[u]..offsets[u+1]`.
+    offsets: Vec<u32>,
+    /// Neighbor node id per slot.
+    to: Vec<u32>,
+    /// Directed link cost per slot.
+    cost: Vec<Cost>,
+    /// Dense edge id per slot (indexes fault masks and edge counters).
+    eid: Vec<u32>,
+    /// `host[n]`: node `n` is an end host (never transits traffic).
+    host: Vec<bool>,
+    /// Endpoints of each directed half-link, indexed by [`EdgeId`]
+    /// (mirrors [`Graph::edge_ends_all`]; lets mask-based consumers map an
+    /// edge id back to its endpoints without the originating graph).
+    edge_ends: Vec<LinkId>,
+}
+
+/// One packed out-edge, yielded by [`Csr::neighbors`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CsrEdge {
+    /// The neighbor this edge leads to.
+    pub to: NodeId,
+    /// Cost of traversing the edge in this direction.
+    pub cost: Cost,
+    /// The edge's dense id.
+    pub eid: EdgeId,
+}
+
+impl Csr {
+    /// Packs the current adjacency of `g`. Edge order per node — and hence
+    /// every Dijkstra tie-break downstream — is preserved.
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.node_count();
+        let m = g.directed_edge_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut to = Vec::with_capacity(m);
+        let mut cost = Vec::with_capacity(m);
+        let mut eid = Vec::with_capacity(m);
+        let mut host = Vec::with_capacity(n);
+        offsets.push(0);
+        for u in g.nodes() {
+            for e in g.neighbors(u) {
+                to.push(e.to.0);
+                cost.push(e.cost);
+                eid.push(e.eid.0);
+            }
+            offsets.push(to.len() as u32);
+            host.push(g.is_host(u));
+        }
+        Csr {
+            offsets,
+            to,
+            cost,
+            eid,
+            host,
+            edge_ends: g.edge_ends_all().to_vec(),
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed half-links.
+    #[inline]
+    pub fn directed_edge_count(&self) -> usize {
+        self.to.len()
+    }
+
+    /// Out-degree of `n`.
+    #[inline]
+    pub fn out_degree(&self, n: NodeId) -> usize {
+        (self.offsets[n.index() + 1] - self.offsets[n.index()]) as usize
+    }
+
+    /// True if `n` is an end host.
+    #[inline]
+    pub fn is_host(&self, n: NodeId) -> bool {
+        self.host[n.index()]
+    }
+
+    /// Endpoints of the directed half-link `eid`.
+    #[inline]
+    pub fn edge_ends(&self, eid: EdgeId) -> LinkId {
+        self.edge_ends[eid.index()]
+    }
+
+    /// The slot range of `n`'s out-edges in the packed arrays.
+    #[inline]
+    fn range(&self, n: NodeId) -> std::ops::Range<usize> {
+        self.offsets[n.index()] as usize..self.offsets[n.index() + 1] as usize
+    }
+
+    /// Out-edges of `n`, in the same order as [`Graph::neighbors`].
+    #[inline]
+    pub fn neighbors(&self, n: NodeId) -> impl Iterator<Item = CsrEdge> + '_ {
+        let r = self.range(n);
+        self.to[r.clone()]
+            .iter()
+            .zip(&self.cost[r.clone()])
+            .zip(&self.eid[r])
+            .map(|((&to, &cost), &eid)| CsrEdge {
+                to: NodeId(to),
+                cost,
+                eid: EdgeId(eid),
+            })
+    }
+
+    /// Raw packed slices `(to, cost, eid)` of `n`'s out-edges, for hot
+    /// loops that want to drive the iteration themselves.
+    #[inline]
+    pub fn out_slices(&self, n: NodeId) -> (&[u32], &[Cost], &[u32]) {
+        let r = self.range(n);
+        (&self.to[r.clone()], &self.cost[r.clone()], &self.eid[r])
+    }
+
+    /// Heap bytes held by the packed arrays (the CSR memory footprint).
+    pub fn bytes(&self) -> usize {
+        self.offsets.len() * size_of::<u32>()
+            + self.to.len() * size_of::<u32>()
+            + self.cost.len() * size_of::<Cost>()
+            + self.eid.len() * size_of::<u32>()
+            + self.host.len() * size_of::<bool>()
+            + self.edge_ends.len() * size_of::<LinkId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_router();
+        let b = g.add_router();
+        let c = g.add_router();
+        g.add_link(a, b, 3, 7);
+        g.add_link(a, c, 2, 4);
+        g.add_host(b, 1, 5);
+        g
+    }
+
+    #[test]
+    fn csr_mirrors_adjacency_exactly() {
+        let g = sample();
+        let csr = Csr::from_graph(&g);
+        assert_eq!(csr.node_count(), g.node_count());
+        assert_eq!(csr.directed_edge_count(), g.directed_edge_count());
+        for u in g.nodes() {
+            assert_eq!(csr.out_degree(u), g.degree(u));
+            assert_eq!(csr.is_host(u), g.is_host(u));
+            let packed: Vec<CsrEdge> = csr.neighbors(u).collect();
+            let adj = g.neighbors(u);
+            assert_eq!(packed.len(), adj.len());
+            for (p, e) in packed.iter().zip(adj) {
+                assert_eq!(p.to, e.to, "order must match adjacency");
+                assert_eq!(p.cost, e.cost);
+                assert_eq!(p.eid, e.eid);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_ends_round_trip() {
+        let g = sample();
+        let csr = Csr::from_graph(&g);
+        for (l, _) in g.directed_links() {
+            let (eid, _) = g.edge_entry(l.from, l.to).unwrap();
+            assert_eq!(csr.edge_ends(eid), l);
+        }
+    }
+
+    #[test]
+    fn out_slices_agree_with_iterator() {
+        let g = sample();
+        let csr = Csr::from_graph(&g);
+        for u in g.nodes() {
+            let (to, cost, eid) = csr.out_slices(u);
+            let via_iter: Vec<CsrEdge> = csr.neighbors(u).collect();
+            assert_eq!(to.len(), via_iter.len());
+            for (i, e) in via_iter.iter().enumerate() {
+                assert_eq!((to[i], cost[i], eid[i]), (e.to.0, e.cost, e.eid.0));
+            }
+        }
+    }
+
+    #[test]
+    fn bytes_counts_packed_arrays() {
+        let g = sample();
+        let csr = Csr::from_graph(&g);
+        assert!(csr.bytes() > 0);
+        // 4 nodes -> 5 offsets; 3 undirected links -> 6 slots.
+        assert_eq!(csr.bytes(), 5 * 4 + 6 * 4 + 6 * 4 + 6 * 4 + 4 + 6 * 8);
+    }
+
+    #[test]
+    fn empty_graph_packs() {
+        let csr = Csr::from_graph(&Graph::new());
+        assert_eq!(csr.node_count(), 0);
+        assert_eq!(csr.directed_edge_count(), 0);
+    }
+}

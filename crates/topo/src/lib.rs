@@ -16,6 +16,10 @@
 //! * [`isp`] — the 18-router "large ISP" backbone of the paper's Figure 6;
 //! * [`random`] — seeded random-graph generators (G(n,p) with a target
 //!   average degree, plus Waxman for extensions);
+//! * [`hier`] — hierarchical AS/POP/access topologies for the scale sweeps
+//!   (connected by construction, thousands of routers);
+//! * [`csr`] — an immutable CSR packing of a frozen graph, the form the
+//!   routing layer's SPF sweeps iterate over;
 //! * [`costs`] — cost assignment policies (the paper's per-direction
 //!   `U[1,10]`, and an asymmetry-interpolation knob used by the ablations);
 //! * [`scenarios`] — the small hand-built topologies of the paper's
@@ -29,10 +33,13 @@
 
 pub mod analysis;
 pub mod costs;
+pub mod csr;
 pub mod dot;
 pub mod graph;
+pub mod hier;
 pub mod isp;
 pub mod random;
 pub mod scenarios;
 
+pub use csr::{Csr, CsrEdge};
 pub use graph::{Cost, EdgeId, Graph, LinkId, NodeId, NodeKind};
