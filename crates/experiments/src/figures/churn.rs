@@ -29,9 +29,9 @@ use crate::report::Table;
 use crate::runner::{converge, probe_tolerant, probe_window};
 use crate::scenario::{build, Scenario, ScenarioOptions, TopologyKind};
 use crate::stats::Summary;
-use hbh_proto_base::{Channel, Cmd, Timing};
+use hbh_proto_base::{Channel, Cmd, Script, Timing};
 use hbh_routing::{OnDemandRoutes, RouteProvider};
-use hbh_sim_core::{FaultEvent, Kernel, Protocol};
+use hbh_sim_core::{Kernel, Protocol};
 use hbh_topo::graph::NodeId;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -171,7 +171,9 @@ impl Study for ChurnStudy {
             .collect();
 
         let t_fail = k.now() + 1;
-        k.schedule_fault(t_fail, FaultEvent::NodeDown(self.victim));
+        Script::new()
+            .fail_node(t_fail, self.victim)
+            .schedule(&mut k);
         k.run_until(t_fail);
         let control_before = k.stats().control_copies();
         let rtx_before = total_retransmits(&k);
@@ -221,7 +223,9 @@ impl Study for ChurnStudy {
         }
 
         let t_up = k.now() + 1;
-        k.schedule_fault(t_up, FaultEvent::NodeUp(self.victim));
+        Script::new()
+            .restore_node(t_up, self.victim)
+            .schedule(&mut k);
         k.run_until(t_up);
         converge(&mut k, timing, 0);
         let (delays, _) = probe_tolerant(&mut k, ch, 3, window);

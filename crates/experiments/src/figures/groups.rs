@@ -10,7 +10,7 @@ use crate::runner::probe_window;
 use crate::stats::Summary;
 use hbh_pim::Pim;
 use hbh_proto::Hbh;
-use hbh_proto_base::membership::sample_receivers;
+use hbh_proto_base::workload::sample_receivers;
 use hbh_proto_base::{Channel, Cmd, StateInventory, Timing};
 use hbh_reunite::Reunite;
 use hbh_sim_core::{Kernel, Network, Protocol, Time};
@@ -70,7 +70,7 @@ where
     let mut rng = StdRng::seed_from_u64(sc.seed ^ 0x6801);
     for (ch, receivers) in &sc.channels {
         k.command_at(ch.source, Cmd::StartSource(*ch), Time::ZERO);
-        let sched = hbh_proto_base::membership::join_schedule(
+        let sched = hbh_proto_base::workload::join_schedule(
             receivers,
             Time::ZERO,
             10 * timing.join_period,

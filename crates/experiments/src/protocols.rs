@@ -26,6 +26,13 @@ pub enum ProtocolKind {
     /// one of the paper's four — it exists for the robustness studies —
     /// so it is deliberately absent from [`ProtocolKind::ALL`].
     HbhHard,
+    /// HBH with membership aggregation: access routers absorb their
+    /// hosts' joins into a coverage summary and represent the whole pod
+    /// upstream with one join per period, so per-channel control traffic
+    /// and tree state scale with routers, not receivers. Also outside
+    /// [`ProtocolKind::ALL`] — it exists for the membership-scale
+    /// studies.
+    HbhAgg,
 }
 
 impl ProtocolKind {
@@ -49,6 +56,17 @@ impl ProtocolKind {
         ProtocolKind::HbhHard,
     ];
 
+    /// The membership-scale bench arms: every protocol that survives
+    /// internet-scale group sizes (PIM-SM's central-RP search does not),
+    /// with the aggregated variant as the headline.
+    pub const MEMBERSHIP_ARMS: [ProtocolKind; 5] = [
+        ProtocolKind::PimSs,
+        ProtocolKind::Reunite,
+        ProtocolKind::Hbh,
+        ProtocolKind::HbhHard,
+        ProtocolKind::HbhAgg,
+    ];
+
     pub fn name(self) -> &'static str {
         match self {
             ProtocolKind::PimSm => "PIM-SM",
@@ -56,6 +74,7 @@ impl ProtocolKind {
             ProtocolKind::Reunite => "REUNITE",
             ProtocolKind::Hbh => "HBH",
             ProtocolKind::HbhHard => "HBH-HARD",
+            ProtocolKind::HbhAgg => "HBH-AGG",
         }
     }
 }
@@ -156,6 +175,10 @@ pub fn dispatch<S: Study>(
             let (k, ch) = build_kernel(Hbh::new(*timing), scenario);
             study.run(k, ch, scenario, timing)
         }
+        ProtocolKind::HbhAgg => {
+            let (k, ch) = build_kernel(Hbh::aggregated(*timing), scenario);
+            study.run(k, ch, scenario, timing)
+        }
         ProtocolKind::HbhHard => {
             let (k, ch) = build_kernel(HbhHard::new(*timing), scenario);
             study.run(k, ch, scenario, timing)
@@ -179,6 +202,7 @@ pub fn dispatch<S: Study>(
 pub fn run_protocol(kind: ProtocolKind, scenario: &Scenario, timing: &Timing) -> ProbeOutcome {
     match kind {
         ProtocolKind::Hbh => run_probe(Hbh::new(*timing), scenario, timing),
+        ProtocolKind::HbhAgg => run_probe(Hbh::aggregated(*timing), scenario, timing),
         ProtocolKind::HbhHard => run_probe(HbhHard::new(*timing), scenario, timing),
         ProtocolKind::Reunite => run_probe(Reunite::new(*timing), scenario, timing),
         ProtocolKind::PimSs => run_probe(Pim::source_specific(*timing), scenario, timing),
@@ -201,6 +225,7 @@ pub fn run_protocol_isolated(
     use crate::runner::run_probe_isolated;
     match kind {
         ProtocolKind::Hbh => run_probe_isolated(Hbh::new(*timing), scenario, timing),
+        ProtocolKind::HbhAgg => run_probe_isolated(Hbh::aggregated(*timing), scenario, timing),
         ProtocolKind::HbhHard => run_probe_isolated(HbhHard::new(*timing), scenario, timing),
         ProtocolKind::Reunite => run_probe_isolated(Reunite::new(*timing), scenario, timing),
         ProtocolKind::PimSs => run_probe_isolated(Pim::source_specific(*timing), scenario, timing),

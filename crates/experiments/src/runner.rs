@@ -228,10 +228,16 @@ pub fn build_kernel_on<P: Protocol<Command = Cmd>>(
     scenario: &Scenario,
 ) -> (Kernel<P>, Channel) {
     let mut k = Kernel::new(net, proto, scenario.seed);
+    if let Some(faults) = &scenario.faults {
+        k.install_faults(faults);
+    }
     let ch = Channel::primary(scenario.source);
     k.command_at(scenario.source, Cmd::StartSource(ch), Time::ZERO);
     for &(r, t) in &scenario.join_times {
         k.command_at(r, Cmd::Join(ch), t);
+    }
+    if !scenario.script.is_empty() {
+        scenario.script.schedule(&mut k);
     }
     (k, ch)
 }

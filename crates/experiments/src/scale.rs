@@ -20,7 +20,7 @@
 
 use crate::protocols::{run_protocol, ProtocolKind};
 use crate::scenario::Scenario;
-use hbh_proto_base::membership::{join_schedule, sample_receivers};
+use hbh_proto_base::workload::{join_schedule, sample_receivers};
 use hbh_proto_base::Timing;
 use hbh_routing::RouteStats;
 use hbh_sim_core::{Network, Time};

@@ -1,8 +1,9 @@
 //! Scenario construction: topology + per-run cost draw + receiver sample +
 //! join schedule (§4.1 of the paper).
 
-use hbh_proto_base::membership::{join_schedule, sample_receivers};
-use hbh_proto_base::Timing;
+use hbh_proto_base::workload::WorkloadGen;
+use hbh_proto_base::{Channel, Script, Timing, Workload};
+use hbh_sim_core::fault::FaultPlan;
 use hbh_sim_core::{Network, Time};
 use hbh_topo::graph::{Graph, NodeId};
 use hbh_topo::{costs, isp, random};
@@ -80,6 +81,11 @@ pub struct Scenario {
     pub join_window: u64,
     /// Seed for protocol-internal randomness (e.g. PIM RP placement).
     pub seed: u64,
+    /// Scripted actions beyond the primary-channel joins (extra channels,
+    /// zap switches). Empty for the classic figure scenarios.
+    pub script: Script,
+    /// Faults installed at kernel-build time (`None` = pristine network).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Scenario {
@@ -112,7 +118,34 @@ impl Scenario {
             join_times,
             join_window,
             seed,
+            script: Script::new(),
+            faults: None,
         }
+    }
+
+    /// Replaces this scenario's membership with a plan drawn from
+    /// `workload` over the network's host pool (the source excluded). The
+    /// draw is seeded from the scenario seed, so paired protocol runs on
+    /// the same scenario see the identical plan.
+    pub fn with_workload(mut self, workload: &Workload, timing: &Timing) -> Self {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x3057_10AD);
+        let pool: Vec<NodeId> = {
+            let source = self.source;
+            self.graph().hosts().filter(|&h| h != source).collect()
+        };
+        let plan = workload.plan(&pool, Channel::primary(self.source), timing, &mut rng);
+        self.receivers = plan.receivers;
+        self.join_times = plan.join_times;
+        self.join_window = plan.join_window;
+        self.script = plan.script;
+        self
+    }
+
+    /// Attaches a fault plan, installed when a kernel is built for this
+    /// scenario.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
     }
 }
 
@@ -244,9 +277,15 @@ pub fn build(
         "group size {group_size} exceeds receiver pool {}",
         pool.len()
     );
-    let receivers = sample_receivers(&pool, group_size, &mut rng);
-    let join_window = opts.join_window_periods * timing.join_period;
-    let join_times = join_schedule(&receivers, Time(0), join_window, &mut rng);
+    // The paper workload consumes the RNG in the historical order
+    // (receiver sample, then join schedule), keeping every figure
+    // byte-identical across the Workload migration.
+    let plan = Workload::paper_figure(group_size, opts.join_window_periods).plan(
+        &pool,
+        Channel::primary(source),
+        timing,
+        &mut rng,
+    );
     let cache_key = (
         kind as u8,
         run_seed,
@@ -259,10 +298,12 @@ pub fn build(
     Scenario {
         network,
         source,
-        receivers,
-        join_times,
-        join_window,
+        receivers: plan.receivers,
+        join_times: plan.join_times,
+        join_window: plan.join_window,
         seed: run_seed,
+        script: plan.script,
+        faults: None,
     }
 }
 

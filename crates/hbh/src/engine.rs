@@ -1,6 +1,7 @@
 //! The HBH protocol engine: the message-processing rules of Appendix A
 //! (Figure 9), with rule numbers cited inline.
 
+use crate::coverage::CoverageSummary;
 use crate::messages::{HbhMsg, HbhTimer};
 use crate::tables::{HbhMct, HbhMft};
 use hbh_proto_base::{Channel, Cmd, Timing};
@@ -13,13 +14,31 @@ use hbh_topo::graph::NodeId;
 pub struct Hbh {
     /// Refresh periods and soft-state timers.
     pub timing: Timing,
+    /// Membership aggregation at access routers (the HBH-AGG variant):
+    /// joins from directly attached hosts are absorbed into a per-channel
+    /// [`CoverageSummary`] and the access router joins the channel once on
+    /// their behalf, so upstream per-channel state is O(access routers),
+    /// not O(receivers). Off by default — `Hbh::new` behaves exactly as
+    /// the paper's protocol.
+    pub aggregate: bool,
 }
 
 impl Hbh {
     /// An HBH instance with the given (validated) timing.
     pub fn new(timing: Timing) -> Self {
         timing.validate();
-        Hbh { timing }
+        Hbh {
+            timing,
+            aggregate: false,
+        }
+    }
+
+    /// An HBH instance with membership aggregation at access routers
+    /// (HBH-AGG). Protocol rules are otherwise identical to [`Hbh::new`].
+    pub fn aggregated(timing: Timing) -> Self {
+        let mut hbh = Hbh::new(timing);
+        hbh.aggregate = true;
+        hbh
     }
 }
 
@@ -34,6 +53,9 @@ pub struct HbhNodeState {
     tree_armed: FastSet<Channel>,
     /// Channels with an armed router sweep.
     sweep_armed: FastSet<Channel>,
+    /// Aggregated local receivers per channel (HBH-AGG access routers
+    /// only; always empty when aggregation is off).
+    local: FastMap<Channel, CoverageSummary>,
 }
 
 impl HbhNodeState {
@@ -56,6 +78,12 @@ impl HbhNodeState {
     pub fn is_branching(&self, ch: Channel) -> bool {
         self.mft.contains_key(&ch)
     }
+
+    /// This access router's aggregated local members for `ch`, if any
+    /// (HBH-AGG only).
+    pub fn local_members(&self, ch: Channel) -> Option<&CoverageSummary> {
+        self.local.get(&ch)
+    }
 }
 
 impl hbh_proto_base::StateInventory for HbhNodeState {
@@ -65,6 +93,14 @@ impl hbh_proto_base::StateInventory for HbhNodeState {
 
     fn control_entries(&self, ch: Channel) -> usize {
         usize::from(self.mct.contains_key(&ch))
+    }
+
+    fn state_bytes(&self, ch: Channel) -> usize {
+        // The default weights, plus the aggregated local-member summary —
+        // HBH-AGG must not hide the state it keeps at access routers.
+        24 * self.forwarding_entries(ch)
+            + 12 * self.control_entries(ch)
+            + self.local.get(&ch).map_or(0, |l| l.state_bytes())
     }
 }
 
@@ -182,6 +218,72 @@ impl Hbh {
             }
             // Rules (1)/(2): no MFT, or R not in it ⇒ forward unchanged.
             _ => ctx.forward(pkt),
+        }
+    }
+
+    // --- membership aggregation (HBH-AGG) ------------------------------
+
+    /// Absorbs a join from a directly attached host into the per-channel
+    /// local-member summary. The access router is the channel's receiver
+    /// of record: the *first* local member triggers the router's own
+    /// (never-intercepted) initial join, which builds the upstream tree
+    /// once; every later local join — initial or refresh — only touches
+    /// the O(1) summary. Per-period refreshes upstream are coalesced into
+    /// a single join by the [`HbhTimer::AggFlush`] tick.
+    fn join_at_access(
+        &self,
+        state: &mut HbhNodeState,
+        ch: Channel,
+        who: NodeId,
+        ctx: &mut HCtx<'_>,
+    ) {
+        let now = ctx.now();
+        let local = state.local.entry(ch).or_default();
+        let first = local.is_empty();
+        if local.refresh(who, now) {
+            ctx.structural_change();
+        }
+        if first {
+            self.send_join(ch, ctx.node, true, ctx);
+            ctx.set_timer(HbhTimer::AggFlush(ch), self.timing.join_period);
+        }
+    }
+
+    /// Fans a data packet addressed to this access router out to every
+    /// live aggregated local member (on top of the normal MFT fan-out).
+    fn deliver_local(
+        &self,
+        state: &HbhNodeState,
+        pkt: &Packet<HbhMsg>,
+        ch: Channel,
+        ctx: &mut HCtx<'_>,
+    ) {
+        let now = ctx.now();
+        let Some(local) = state.local.get(&ch) else {
+            return;
+        };
+        for h in local.live(now, self.timing.t2) {
+            ctx.send(pkt.copy_to(h));
+        }
+    }
+
+    /// Periodic aggregation tick: decay the local summary, then refresh
+    /// the upstream join on behalf of all surviving members with one
+    /// message. When the last member has expired the channel's local
+    /// state is dropped and the upstream entry decays on its own.
+    fn agg_flush(&self, state: &mut HbhNodeState, ch: Channel, ctx: &mut HCtx<'_>) {
+        let now = ctx.now();
+        let Some(local) = state.local.get_mut(&ch) else {
+            return;
+        };
+        if local.reap(now, self.timing.t2) > 0 {
+            ctx.structural_change();
+        }
+        if local.is_empty() {
+            state.local.remove(&ch);
+        } else {
+            self.send_join(ch, ctx.node, false, ctx);
+            ctx.set_timer(HbhTimer::AggFlush(ch), self.timing.join_period);
         }
     }
 
@@ -399,6 +501,15 @@ impl Protocol for Hbh {
                 if pkt.dst == here {
                     debug_assert_eq!(here, ch.source, "joins are addressed to the source");
                     self.join_at_source(state, ch, who, ctx);
+                } else if self.aggregate
+                    && !is_host
+                    && who != ch.source
+                    && ctx.net().graph().is_host(who)
+                    && ctx.net().graph().host_router(who) == here
+                {
+                    // HBH-AGG: a join from one of our own hosts is
+                    // absorbed here, at its first hop.
+                    self.join_at_access(state, ch, who, ctx);
                 } else {
                     self.join_at_router(state, pkt, ch, who, initial, ctx);
                 }
@@ -439,6 +550,9 @@ impl Protocol for Hbh {
                         }
                     } else {
                         self.data_self_addressed(state, &pkt, ch, ctx);
+                        if self.aggregate {
+                            self.deliver_local(state, &pkt, ch, ctx);
+                        }
                     }
                 } else {
                     ctx.forward(pkt);
@@ -456,6 +570,7 @@ impl Protocol for Hbh {
                 }
             }
             HbhTimer::TreeRefresh(ch) => self.source_tree_tick(state, ch, ctx),
+            HbhTimer::AggFlush(ch) => self.agg_flush(state, ch, ctx),
             HbhTimer::Sweep(ch) => {
                 let now = ctx.now();
                 let mut reaped = 0;

@@ -354,6 +354,90 @@ fn determinism_across_identical_runs() {
     assert_eq!(run(), run());
 }
 
+/// Line s(host) - a - b - c with `hosts` receivers attached to c, running
+/// the HBH-AGG variant.
+fn agg_line(hosts: usize) -> (Kernel<Hbh>, NodeId, NodeId, Vec<NodeId>) {
+    let mut g = Graph::new();
+    let a = g.add_router();
+    let b = g.add_router();
+    let c = g.add_router();
+    g.add_link(a, b, 1, 1);
+    g.add_link(b, c, 1, 1);
+    let s = g.add_host(a, 1, 1);
+    let hs: Vec<NodeId> = (0..hosts).map(|_| g.add_host(c, 1, 1)).collect();
+    let k = Kernel::new(Network::new(g), Hbh::aggregated(Timing::default()), 11);
+    (k, s, c, hs)
+}
+
+#[test]
+fn aggregation_absorbs_host_joins_at_access_router() {
+    let (mut k, s, c, hs) = agg_line(5);
+    let ch = Channel::primary(s);
+    for (i, &h) in hs.iter().enumerate() {
+        k.command_at(h, Cmd::Join(ch), Time(i as u64 * 30));
+    }
+    settle(&mut k, 2000);
+    let now = k.now();
+    // Upstream state is O(access routers): the source sees one receiver —
+    // the access router — however many hosts sit behind it.
+    let s_mft = k.state(s).mft(ch).expect("source MFT");
+    assert!(s_mft.contains(c, now), "access router joined on behalf");
+    for &h in &hs {
+        assert!(!s_mft.contains(h, now), "host join leaked past access");
+    }
+    assert_eq!(s_mft.len(), 1);
+    let local = k.state(c).local_members(ch).expect("local member table");
+    assert_eq!(local.len(), 5);
+    // Data reaches every host at its unicast shortest-path distance.
+    let t = k.now();
+    k.command_at(s, Cmd::SendData { ch, tag: 21 }, t);
+    k.run_until(t + 100);
+    let mut nodes: Vec<NodeId> = k.stats().deliveries_tagged(21).map(|d| d.node).collect();
+    nodes.sort();
+    let mut want = hs.clone();
+    want.sort();
+    assert_eq!(nodes, want);
+    for d in k.stats().deliveries_tagged(21) {
+        assert_eq!(d.delay(), k.network().dist(s, d.node).unwrap());
+    }
+}
+
+#[test]
+fn aggregated_leave_decays_locally_and_tears_down() {
+    let (mut k, s, c, hs) = agg_line(3);
+    let ch = Channel::primary(s);
+    for &h in &hs {
+        k.command_at(h, Cmd::Join(ch), Time(0));
+    }
+    settle(&mut k, 2000);
+    let timing = Timing::default();
+    // One host leaves: its local entry expires after t2, others unaffected.
+    k.command_at(hs[0], Cmd::Leave(ch), Time(2000));
+    settle(&mut k, 2000 + 3 * timing.t2);
+    let local = k.state(c).local_members(ch).expect("table still live");
+    assert_eq!(local.len(), 2, "departed member reaped");
+    let t = k.now();
+    k.command_at(s, Cmd::SendData { ch, tag: 22 }, t);
+    k.run_until(t + 100);
+    let mut nodes: Vec<NodeId> = k.stats().deliveries_tagged(22).map(|d| d.node).collect();
+    nodes.sort();
+    let mut want = vec![hs[1], hs[2]];
+    want.sort();
+    assert_eq!(nodes, want);
+    // Everyone leaves: local table dropped, upstream soft state decays.
+    for &h in &hs[1..] {
+        let t = k.now();
+        k.command_at(h, Cmd::Leave(ch), t);
+    }
+    let quiet = k.now() + 5 * timing.t2 + 10 * timing.tree_period;
+    k.run_until(quiet);
+    assert!(
+        k.state(c).local_members(ch).is_none(),
+        "local table lingers"
+    );
+    assert!(k.state(s).mft(ch).is_none(), "source MFT lingers");
+}
+
 #[test]
 fn second_channel_from_same_source_is_independent() {
     let (mut k, s, _, h) = line();

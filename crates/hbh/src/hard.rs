@@ -148,6 +148,13 @@ pub enum HardMsg {
         /// `false` tells the prober its parent lost the serving state
         /// (e.g. rebooted blank) and it must re-join immediately.
         known: bool,
+        /// For probes answered `known = false` because the prober's entry
+        /// is *marked*: the covering node this consumer believes actually
+        /// serves the prober. The prober re-homes there directly instead
+        /// of rejoining — hard state has no decay, so the rejoin path
+        /// (intercept → unmark → coverer re-marks by fusion) would
+        /// oscillate forever.
+        server: Option<NodeId>,
     },
     /// Channel data, addressed to the next branching node (or receiver).
     Data {
@@ -273,18 +280,24 @@ impl HardMft {
     /// Does a data-reachable entry other than `n` claim `n` in its
     /// coverage — i.e. is `n`'s mark still backed by a working server?
     pub fn served_by_other(&self, n: NodeId) -> bool {
+        self.server_of(n).is_some()
+    }
+
+    /// The data-reachable entry (other than `n`) whose coverage claims
+    /// `n`, if any — the node this table believes actually serves `n`.
+    /// Probe redirects hand this to a prober whose entry is marked.
+    pub fn server_of(&self, n: NodeId) -> Option<NodeId> {
         if !self
             .entries
             .iter()
             .any(|e| e.node != n && e.covers.contains(&n))
         {
-            return false;
+            return None;
         }
         let reach = self.data_reachable();
-        self.entries
-            .iter()
-            .enumerate()
-            .any(|(i, e)| reach.test(i) && e.node != n && e.covers.contains(&n))
+        self.entries.iter().enumerate().find_map(|(i, e)| {
+            (reach.test(i) && e.node != n && e.covers.contains(&n)).then_some(e.node)
+        })
     }
 
     /// Is `nodes` contained in the coverage of a data-reachable entry
@@ -459,6 +472,12 @@ pub struct HardNodeState {
     /// Channels with a self-prune leave in flight (suppresses one leave
     /// per stray data packet).
     pruning: FastSet<Channel>,
+    /// Per channel: the redirect targets followed since the last
+    /// `known = true` confirmation. Coverage nests, so a probe redirect
+    /// may legitimately chain several hops down to the true server; the
+    /// trail detects a *repeated* target — mutually inconsistent claims
+    /// chasing the node in circles — and drops to the join path instead.
+    redirect_trail: FastMap<Channel, Vec<NodeId>>,
     /// Last probe heard from each directly-served child (deadman input).
     /// A missing key means "not yet expected" — the sweep stamps it with
     /// the current time on first sight, granting a full grace period.
@@ -545,7 +564,14 @@ impl HbhHard {
         ctx.set_timer(HardTimer::Rtx(seq), self.reliable.rto);
     }
 
-    fn send_ack(&self, origin: NodeId, seq: u64, known: bool, ctx: &mut XCtx<'_>) {
+    fn send_ack(
+        &self,
+        origin: NodeId,
+        seq: u64,
+        known: bool,
+        server: Option<NodeId>,
+        ctx: &mut XCtx<'_>,
+    ) {
         if origin == ctx.node {
             return;
         }
@@ -557,6 +583,7 @@ impl HbhHard {
                 seq,
                 by: ctx.node,
                 known,
+                server,
             },
         );
         ctx.send(pkt);
@@ -604,6 +631,7 @@ impl HbhHard {
 
     fn disarm_probe(&self, st: &mut HardNodeState, ch: Channel, ctx: &mut XCtx<'_>) {
         st.probe_inflight.remove(&ch);
+        st.redirect_trail.remove(&ch);
         if st.probe_armed.remove(&ch) {
             ctx.cancel_timer(&HardTimer::Probe(ch));
         }
@@ -938,22 +966,28 @@ impl HbhHard {
         ctx: &mut XCtx<'_>,
     ) {
         let fresh = st.rel.consume(origin, seq);
+        let mut server = None;
         let known = match &ctl {
             // `known` reports "I serve you data": present and unmarked. A
             // marked entry honestly answers `false` — the mark means a
             // deeper coverer serves the prober, so a probe landing here
             // says the prober missed (or lost the race against stale
-            // in-flight trees for) its handoff; `known = false` sends it
-            // back through the join path, which re-homes it at the actual
-            // server. Every probe, fresh or retransmitted, feeds the
-            // deadman stamp.
+            // in-flight trees for) its handoff. The ACK names that
+            // coverer so the prober re-homes there directly: sending it
+            // back through the join path would *unmark* it here ("trust
+            // the joiner") only for the coverer's next fusion to re-mark
+            // it, and with no soft-state decay to break the tie the
+            // probe/rejoin cycle would spin forever. Every probe, fresh
+            // or retransmitted, feeds the deadman stamp.
             HardCtl::Probe { ch, who } => {
-                let serving = st
-                    .mft
-                    .get(ch)
-                    .is_some_and(|m| m.contains(*who) && !m.is_marked(*who));
+                let mft = st.mft.get(ch);
+                let serving = mft.is_some_and(|m| m.contains(*who) && !m.is_marked(*who));
                 if serving {
                     st.child_seen.insert((*ch, *who), ctx.now());
+                } else if let Some(m) = mft {
+                    if m.is_marked(*who) {
+                        server = m.server_of(*who);
+                    }
                 }
                 serving
             }
@@ -979,7 +1013,7 @@ impl HbhHard {
                 HardCtl::Probe { .. } => {}
             }
         }
-        self.send_ack(origin, seq, known, ctx);
+        self.send_ack(origin, seq, known, server, ctx);
     }
 
     /// Handles a sequenced control message not addressed to this node:
@@ -1070,6 +1104,7 @@ impl HbhHard {
         seq: u64,
         by: NodeId,
         known: bool,
+        server: Option<NodeId>,
         ctx: &mut XCtx<'_>,
     ) {
         let Some(out) = st.rel.on_ack(seq) else {
@@ -1079,16 +1114,50 @@ impl HbhHard {
         match out.msg {
             HardCtl::Probe { ch, .. } => {
                 st.probe_inflight.remove(&ch);
-                if !known {
-                    // The parent answers but no longer serves us (e.g. a
-                    // restarted blank router): re-home immediately.
+                if known {
+                    st.redirect_trail.remove(&ch);
+                } else {
+                    // The parent answers but no longer serves us directly.
                     if st.parent.get(&ch) == Some(&out.dst) {
                         st.parent.remove(&ch);
                     }
-                    self.rejoin(st, ch, None, ctx);
+                    // It may have named the coverer backing our mark:
+                    // re-home there and probe it next period. Coverage
+                    // nests, so the redirect can chain several hops down
+                    // to the true server; a *repeated* target means
+                    // inconsistent claims are chasing us in a circle, and
+                    // no hint at all means the parent genuinely lost us
+                    // (e.g. a restarted blank router) — both drop to the
+                    // join path.
+                    let follow = server.filter(|&srv| {
+                        srv != ctx.node
+                            && !st
+                                .redirect_trail
+                                .get(&ch)
+                                .is_some_and(|trail| trail.contains(&srv))
+                    });
+                    match follow {
+                        Some(srv) => {
+                            st.redirect_trail.entry(ch).or_default().push(srv);
+                            self.learn_parent(st, ch, srv, ctx);
+                            // Walk the chain at round-trip speed: probe
+                            // the new parent now rather than waiting out
+                            // a probe period per hop, so a redirect onto
+                            // a stale claim is detected (and repaired)
+                            // almost as fast as a direct rejoin.
+                            if st.probe_inflight.insert(ch) {
+                                self.send_ctl(st, srv, HardCtl::Probe { ch, who: ctx.node }, ctx);
+                            }
+                        }
+                        None => {
+                            st.redirect_trail.remove(&ch);
+                            self.rejoin(st, ch, None, ctx);
+                        }
+                    }
                 }
             }
             HardCtl::Join { ch, .. } => {
+                st.redirect_trail.remove(&ch);
                 // Whoever consumed the join serves us until a tree message
                 // says otherwise.
                 self.learn_parent(st, ch, by, ctx);
@@ -1193,13 +1262,19 @@ impl Protocol for HbhHard {
                     ctx.forward(pkt);
                 }
             }
-            HardMsg::Ack { seq, by, known, .. } => {
+            HardMsg::Ack {
+                seq,
+                by,
+                known,
+                server,
+                ..
+            } => {
                 if pkt.dst != here {
                     ctx.forward(pkt);
                     return;
                 }
-                let (seq, by, known) = (*seq, *by, *known);
-                self.ack_at_origin(state, seq, by, known, ctx);
+                let (seq, by, known, server) = (*seq, *by, *known, *server);
+                self.ack_at_origin(state, seq, by, known, server, ctx);
             }
             HardMsg::Ctl { origin, seq, .. } => {
                 let (origin, seq) = (*origin, *seq);

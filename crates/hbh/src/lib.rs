@@ -48,11 +48,13 @@
 //! numbers of the paper's Figure 9 cited inline.
 
 pub(crate) mod bits;
+pub mod coverage;
 pub mod engine;
 pub mod hard;
 pub mod messages;
 pub mod tables;
 
+pub use coverage::{Bloom, CoverageSummary, SummaryStats};
 pub use engine::{Hbh, HbhNodeState};
 pub use hard::{HardCtl, HardMft, HardMsg, HardNodeState, HardTimer, HbhHard};
 pub use messages::{HbhMsg, HbhTimer};

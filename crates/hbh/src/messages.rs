@@ -67,6 +67,10 @@ pub enum HbhTimer {
     TreeRefresh(Channel),
     /// Router: reap dead MCT/MFT state.
     Sweep(Channel),
+    /// Access router (HBH-AGG only): decay the aggregated local-member
+    /// table and refresh the channel's upstream join on behalf of every
+    /// live local receiver with a single message.
+    AggFlush(Channel),
 }
 
 #[cfg(test)]

@@ -25,7 +25,11 @@
 //!   Poisson churn used by the group-dynamics ablation);
 //! * [`script`] — the unified scenario schedule (commands + fault events
 //!   at times) consumed by both the simulation kernel and the live UDP
-//!   cluster, so one scenario definition drives every backend.
+//!   cluster, so one scenario definition drives every backend;
+//! * [`workload`] — declarative membership workloads ([`Workload`]):
+//!   the paper's §4.1 figure workload plus the flash-crowd, Zipf and
+//!   IPTV-zapping patterns used by the membership-scale benchmarks, all
+//!   realized as receiver sets, join schedules and [`Script`]s.
 
 pub mod channel;
 pub mod command;
@@ -35,6 +39,7 @@ pub mod reliable;
 pub mod script;
 pub mod softstate;
 pub mod timing;
+pub mod workload;
 
 pub use channel::{Channel, GroupAddr};
 pub use command::Cmd;
@@ -43,3 +48,4 @@ pub use reliable::{Outstanding, ReliableConfig, ReliableState, ReliableStats, Rt
 pub use script::{Script, ScriptAction};
 pub use softstate::{EntryPhase, SoftEntry};
 pub use timing::Timing;
+pub use workload::{Workload, WorkloadGen, WorkloadPlan};

@@ -3,11 +3,11 @@
 //! The paper's evaluation (§4.1): *"A variable number of randomly chosen
 //! receivers join the channel"* — receivers are sampled uniformly without
 //! replacement from the per-router host pool, for each group size, 500
-//! independent runs. [`sample_receivers`] implements the sampling;
-//! [`join_schedule`] staggers the joins over a window (simultaneous joins
-//! would be an unrealistic lock-step special case); [`churn_schedule`]
-//! generates the Poisson join/leave process used by the group-dynamics
-//! ablation (`DESIGN.md` A4).
+//! independent runs. The sampling and scheduling primitives now live in
+//! [`crate::workload`] behind the [`crate::Workload`] builder; the
+//! functions here are deprecated shims kept for one release.
+//! [`churn_schedule`] (the Poisson join/leave process of the
+//! group-dynamics ablation, `DESIGN.md` A4) still lives here.
 
 use hbh_sim_core::Time;
 use hbh_topo::graph::NodeId;
@@ -19,32 +19,26 @@ use rand::RngExt;
 ///
 /// # Panics
 /// Panics if `m > pool.len()`.
+#[deprecated(
+    since = "0.2.0",
+    note = "moved to `workload::sample_receivers`; prefer building a `Workload`"
+)]
 pub fn sample_receivers(pool: &[NodeId], m: usize, rng: &mut StdRng) -> Vec<NodeId> {
-    assert!(
-        m <= pool.len(),
-        "cannot sample {m} receivers from a pool of {}",
-        pool.len()
-    );
-    let mut pool = pool.to_vec();
-    for i in 0..m {
-        let j = rng.random_range(i..pool.len());
-        pool.swap(i, j);
-    }
-    pool.truncate(m);
-    pool
+    crate::workload::sample_receivers(pool, m, rng)
 }
 
 /// Assigns each receiver a join time uniform in `[start, start + window]`.
+#[deprecated(
+    since = "0.2.0",
+    note = "moved to `workload::join_schedule`; prefer building a `Workload`"
+)]
 pub fn join_schedule(
     receivers: &[NodeId],
     start: Time,
     window: u64,
     rng: &mut StdRng,
 ) -> Vec<(NodeId, Time)> {
-    receivers
-        .iter()
-        .map(|&r| (r, start + rng.random_range(0..=window)))
-        .collect()
+    crate::workload::join_schedule(receivers, start, window, rng)
 }
 
 /// A membership-change event for the churn ablation.
@@ -107,64 +101,17 @@ mod tests {
     }
 
     #[test]
-    fn sample_is_distinct_and_from_pool() {
+    #[allow(deprecated)]
+    fn shims_delegate_to_workload() {
+        // Same seed through the shim and the moved function must agree —
+        // the deprecation must not perturb any existing RNG stream.
         let p = pool(20);
-        let s = sample_receivers(&p, 8, &mut rng(1));
-        assert_eq!(s.len(), 8);
-        let mut sorted = s.clone();
-        sorted.sort();
-        sorted.dedup();
-        assert_eq!(sorted.len(), 8, "duplicates in sample");
-        assert!(s.iter().all(|r| p.contains(r)));
-    }
-
-    #[test]
-    fn sample_full_pool_is_permutation() {
-        let p = pool(5);
-        let mut s = sample_receivers(&p, 5, &mut rng(2));
-        s.sort();
-        assert_eq!(s, p);
-    }
-
-    #[test]
-    fn sample_is_seed_deterministic() {
-        let p = pool(20);
-        assert_eq!(
-            sample_receivers(&p, 7, &mut rng(3)),
-            sample_receivers(&p, 7, &mut rng(3))
-        );
-    }
-
-    #[test]
-    fn sampling_is_roughly_uniform() {
-        // Each of 10 hosts should appear ~500 times over 1000 draws of 5.
-        let p = pool(10);
-        let mut counts = [0u32; 10];
-        let mut r = rng(4);
-        for _ in 0..1000 {
-            for n in sample_receivers(&p, 5, &mut r) {
-                counts[n.0 as usize] += 1;
-            }
-        }
-        for (i, &c) in counts.iter().enumerate() {
-            assert!((400..=600).contains(&c), "host {i} drawn {c} times");
-        }
-    }
-
-    #[test]
-    #[should_panic(expected = "cannot sample")]
-    fn oversampling_rejected() {
-        sample_receivers(&pool(3), 4, &mut rng(0));
-    }
-
-    #[test]
-    fn join_schedule_within_window() {
-        let p = pool(10);
-        let sched = join_schedule(&p, Time(50), 200, &mut rng(5));
-        assert_eq!(sched.len(), 10);
-        for &(_, t) in &sched {
-            assert!(t >= Time(50) && t <= Time(250));
-        }
+        let via_shim = sample_receivers(&p, 7, &mut rng(3));
+        let direct = crate::workload::sample_receivers(&p, 7, &mut rng(3));
+        assert_eq!(via_shim, direct);
+        let a = join_schedule(&via_shim, Time(50), 200, &mut rng(5));
+        let b = crate::workload::join_schedule(&direct, Time(50), 200, &mut rng(5));
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -170,15 +170,17 @@ fn encode_body(msg: &WireMsg) -> (MsgType, u8, Vec<u8>) {
                 seq,
                 by,
                 known,
+                server,
             } => {
                 w.node(*origin);
                 w.u64(*seq);
                 w.node(*by);
-                (
-                    MsgType::HbhHardAck,
-                    if *known { flags::SERVES } else { 0 },
-                    w.into_bytes(),
-                )
+                let mut bits = if *known { flags::SERVES } else { 0 };
+                if let Some(srv) = server {
+                    w.node(*srv);
+                    bits |= flags::REDIRECT;
+                }
+                (MsgType::HbhHardAck, bits, w.into_bytes())
             }
             HardMsg::Data { ch } => {
                 w.channel(*ch);
@@ -381,15 +383,21 @@ fn decode_typed(ty: MsgType, flag_bits: u8, r: &mut Reader<'_>) -> Result<WireMs
             })
         }
         MsgType::HbhHardAck => {
-            flag_ok(flags::SERVES)?;
+            flag_ok(flags::SERVES | flags::REDIRECT)?;
             let origin = r.node()?;
             let seq = r.u64()?;
             let by = r.node()?;
+            let server = if flag_bits & flags::REDIRECT != 0 {
+                Some(r.node()?)
+            } else {
+                None
+            };
             WireMsg::HbhHard(HardMsg::Ack {
                 origin,
                 seq,
                 by,
                 known: flag_bits & flags::SERVES != 0,
+                server,
             })
         }
         MsgType::HbhHardData => {
@@ -551,12 +559,21 @@ mod tests {
                 seq: 6,
                 by: NodeId(5),
                 known: true,
+                server: None,
             }),
             WireMsg::HbhHard(HardMsg::Ack {
                 origin: NodeId(9),
                 seq: 7,
                 by: NodeId(5),
                 known: false,
+                server: None,
+            }),
+            WireMsg::HbhHard(HardMsg::Ack {
+                origin: NodeId(9),
+                seq: 8,
+                by: NodeId(5),
+                known: false,
+                server: Some(NodeId(3)),
             }),
             WireMsg::HbhHard(HardMsg::Data { ch: ch() }),
             WireMsg::Reunite(ReuniteMsg::Join {

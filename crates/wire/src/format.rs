@@ -79,8 +79,10 @@ pub mod flags {
     pub const FAILED: u8 = 0b0000_0100;
     /// Hard-HBH ACK: the acker still serves the probing origin.
     pub const SERVES: u8 = 0b0000_1000;
+    /// Hard-HBH ACK: a probe-redirect server node rides in the body.
+    pub const REDIRECT: u8 = 0b0001_0000;
     /// All bits a valid encoder may set.
-    pub const KNOWN: u8 = INITIAL | MARKED | FAILED | SERVES;
+    pub const KNOWN: u8 = INITIAL | MARKED | FAILED | SERVES | REDIRECT;
 }
 
 /// Bounds-checked big-endian writer.

@@ -43,14 +43,21 @@ fn arb_hard_msg() -> impl Strategy<Value = HardMsg> {
             seq,
             ctl
         }),
-        (node.clone(), any::<u64>(), node, any::<bool>()).prop_map(|(origin, seq, by, known)| {
-            HardMsg::Ack {
+        (
+            node.clone(),
+            any::<u64>(),
+            node,
+            any::<bool>(),
+            any::<bool>(),
+            any::<u32>()
+        )
+            .prop_map(|(origin, seq, by, known, redirect, srv)| HardMsg::Ack {
                 origin,
                 seq,
                 by,
                 known,
-            }
-        }),
+                server: redirect.then_some(NodeId(srv)),
+            }),
         arb_channel().prop_map(|ch| HardMsg::Data { ch }),
     ]
 }

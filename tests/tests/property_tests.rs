@@ -8,7 +8,7 @@
 
 use hbh_pim::Pim;
 use hbh_proto::Hbh;
-use hbh_proto_base::membership::sample_receivers;
+use hbh_proto_base::workload::sample_receivers;
 use hbh_proto_base::{Channel, Cmd, Timing};
 use hbh_reunite::Reunite;
 use hbh_routing::RoutingTables;
